@@ -1,0 +1,123 @@
+package droplet_test
+
+import (
+	"math"
+	"testing"
+
+	"droplet"
+)
+
+// TestPublicAPIEndToEnd drives the full public facade: generate, trace,
+// simulate, inspect.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	g, err := droplet.Kron(10, 8, droplet.GraphOptions{Seed: 5, Symmetrize: true})
+	if err != nil {
+		t.Fatalf("Kron: %v", err)
+	}
+	st := droplet.Stats(g)
+	if st.Vertices != 1024 || st.Edges == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	tr, err := droplet.TraceOf(droplet.PR, g, droplet.TraceOptions{Cores: 4, PRIters: 2})
+	if err != nil {
+		t.Fatalf("TraceOf: %v", err)
+	}
+	if tr.Events() == 0 {
+		t.Fatal("empty trace")
+	}
+
+	cfg := droplet.ExperimentMachine()
+	cfg.L1.SizeBytes = 1 << 10
+	cfg.L2.SizeBytes = 4 << 10
+	cfg.LLC.SizeBytes = 8 << 10
+	cfg.Prefetcher = droplet.DROPLET
+	res, err := droplet.Run(tr, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Cycles <= 0 || res.IPC() <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+
+	dep := droplet.AnalyzeDependencies(tr, 128)
+	if dep.TotalLoads == 0 {
+		t.Fatal("no loads analyzed")
+	}
+}
+
+func TestPublicAPIKernelsMatchReferences(t *testing.T) {
+	g, err := droplet.Uniform(9, 8, droplet.GraphOptions{Seed: 3, Weighted: true, Symmetrize: true})
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	for _, k := range droplet.Kernels {
+		tr, err := droplet.TraceOf(k, g, droplet.TraceOptions{Cores: 2})
+		if err != nil {
+			t.Fatalf("TraceOf(%v): %v", k, err)
+		}
+		if tr.Events() == 0 {
+			t.Errorf("%v: empty trace", k)
+		}
+	}
+	// Reference helpers are exported and usable.
+	depth := droplet.RunBFS(g, 0)
+	if len(depth) != g.NumVertices() {
+		t.Error("RunBFS result size")
+	}
+	comp := droplet.RunCC(g)
+	if len(comp) != g.NumVertices() {
+		t.Error("RunCC result size")
+	}
+}
+
+func TestPublicAPISSSPRequiresWeights(t *testing.T) {
+	g, err := droplet.Grid(8, 8, droplet.GraphOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := droplet.TraceOf(droplet.SSSP, g, droplet.TraceOptions{}); err == nil {
+		t.Error("SSSP on unweighted graph should error")
+	}
+}
+
+func TestPublicAPIPrefetcherParsing(t *testing.T) {
+	for _, p := range droplet.Prefetchers {
+		got, err := droplet.ParsePrefetcher(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePrefetcher(%v) = %v, %v", p, got, err)
+		}
+	}
+}
+
+func TestPublicAPIMachines(t *testing.T) {
+	paper := droplet.PaperMachine()
+	if paper.LLC.SizeBytes != 8<<20 {
+		t.Errorf("paper LLC = %d, want 8MB", paper.LLC.SizeBytes)
+	}
+	expm := droplet.ExperimentMachine()
+	if expm.LLC.SizeBytes != 256<<10 {
+		t.Errorf("experiment LLC = %d, want 256KB", expm.LLC.SizeBytes)
+	}
+	if paper.CPU.ROBSize != expm.CPU.ROBSize {
+		t.Error("core config should match between machines")
+	}
+}
+
+func TestPublicAPIFromEdges(t *testing.T) {
+	g, err := droplet.FromEdges([]droplet.Edge{{U: 0, V: 1}, {U: 1, V: 2}}, droplet.BuildOptions{Symmetrize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 4 {
+		t.Errorf("graph = %v", g)
+	}
+	pr := droplet.RunPageRank(g, droplet.PageRankOptions{})
+	var sum float64
+	for _, s := range pr {
+		sum += s
+	}
+	if math.Abs(sum-1) > 0.1 {
+		t.Errorf("pagerank mass = %v", sum)
+	}
+}

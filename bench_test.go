@@ -1,0 +1,84 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (see DESIGN.md for the per-experiment index). Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark prints the regenerated rows/series once via b.Logf (shown
+// with -v) and reports the wall time of a full experiment regeneration.
+// Results are cached within a single `go test` process, so the reported
+// per-iteration times after the first iteration reflect cache hits; the
+// first iteration carries the real cost.
+//
+// By default the quick workload scale is used. Set DROPLET_SCALE=full for
+// the paper-scale runs the experiment log in EXPERIMENTS.md was produced
+// with (several minutes per figure).
+package droplet_test
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"droplet/internal/exp"
+	"droplet/internal/workload"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *exp.Suite
+)
+
+// sharedSuite caches simulation results across all benchmarks in the
+// process, mirroring how the paper derives Figs. 12-15 from the Fig. 11
+// runs.
+func sharedSuite() *exp.Suite {
+	suiteOnce.Do(func() {
+		sc := workload.Quick
+		if os.Getenv("DROPLET_SCALE") == "full" {
+			sc = workload.Full
+		}
+		suite = exp.NewSuite(sc)
+	})
+	return suite
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := exp.ExperimentByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := sharedSuite()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out, err = e.Run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("\n%s", out)
+}
+
+func BenchmarkTableI_Baseline(b *testing.B)        { benchExperiment(b, "table1") }
+func BenchmarkTableII_Algorithms(b *testing.B)     { benchExperiment(b, "table2") }
+func BenchmarkTableIII_Datasets(b *testing.B)      { benchExperiment(b, "table3") }
+func BenchmarkTableIV_Decisions(b *testing.B)      { benchExperiment(b, "table4") }
+func BenchmarkTableV_Prefetchers(b *testing.B)     { benchExperiment(b, "table5") }
+func BenchmarkFig1_CycleStack(b *testing.B)        { benchExperiment(b, "fig1") }
+func BenchmarkFig3_ROBSweep(b *testing.B)          { benchExperiment(b, "fig3") }
+func BenchmarkFig4a_LLCSweep(b *testing.B)         { benchExperiment(b, "fig4a") }
+func BenchmarkFig4b_L2Sweep(b *testing.B)          { benchExperiment(b, "fig4b") }
+func BenchmarkFig4c_OffChipByType(b *testing.B)    { benchExperiment(b, "fig4c") }
+func BenchmarkFig5_DependencyChains(b *testing.B)  { benchExperiment(b, "fig5") }
+func BenchmarkFig6_ProducerConsumer(b *testing.B)  { benchExperiment(b, "fig6") }
+func BenchmarkFig7_HierarchyUsage(b *testing.B)    { benchExperiment(b, "fig7") }
+func BenchmarkFig11_Performance(b *testing.B)      { benchExperiment(b, "fig11") }
+func BenchmarkFig12_L2HitRate(b *testing.B)        { benchExperiment(b, "fig12") }
+func BenchmarkFig13_OffChipDemand(b *testing.B)    { benchExperiment(b, "fig13") }
+func BenchmarkFig14_PrefetchAccuracy(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkFig15_Bandwidth(b *testing.B)        { benchExperiment(b, "fig15") }
+func BenchmarkAblation_TableIV(b *testing.B)       { benchExperiment(b, "ablation") }
+func BenchmarkReuseDistance_Obs6(b *testing.B)     { benchExperiment(b, "reusedist") }
+func BenchmarkAdaptive_SectionVIIB(b *testing.B)   { benchExperiment(b, "adaptive") }
+func BenchmarkOverhead_SectionVD(b *testing.B)     { benchExperiment(b, "overhead") }
+func BenchmarkMultiChannel_SectionVI(b *testing.B) { benchExperiment(b, "multichannel") }

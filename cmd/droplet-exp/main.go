@@ -1,0 +1,80 @@
+// Command droplet-exp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	droplet-exp -list
+//	droplet-exp -run fig11 -scale quick
+//	droplet-exp -run all -scale full -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"droplet/internal/exp"
+	"droplet/internal/workload"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available experiments")
+		run     = flag.String("run", "", "experiment id (fig1..fig15, table1..table5) or 'all'")
+		scale   = flag.String("scale", "quick", "workload scale: quick or full")
+		verbose = flag.Bool("v", false, "print per-simulation progress")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.Experiments {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+	if *run == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	sc := workload.Quick
+	switch *scale {
+	case "quick":
+	case "full":
+		sc = workload.Full
+	default:
+		fmt.Fprintf(os.Stderr, "droplet-exp: unknown scale %q\n", *scale)
+		os.Exit(1)
+	}
+
+	s := exp.NewSuite(sc)
+	if *verbose {
+		s.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	var ids []string
+	if *run == "all" {
+		for _, e := range exp.Experiments {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*run, ",")
+	}
+	for _, id := range ids {
+		e, err := exp.ExperimentByID(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "droplet-exp:", err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		out, err := e.Run(s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "droplet-exp:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "[%s took %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Command dropletsim runs one benchmark (algorithm × dataset) on one
+// machine/prefetcher configuration and prints the simulation statistics.
+//
+// Usage:
+//
+//	dropletsim -algo PR -dataset orkut -prefetcher droplet -scale quick
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"droplet/internal/core"
+	"droplet/internal/exp"
+	"droplet/internal/graph"
+	"droplet/internal/mem"
+	"droplet/internal/memsys"
+	"droplet/internal/sim"
+	"droplet/internal/trace"
+	"droplet/internal/workload"
+)
+
+func main() {
+	var (
+		algoName = flag.String("algo", "PR", "algorithm: BC, BFS, PR, SSSP, CC")
+		dataset  = flag.String("dataset", "kron", "dataset: kron, urand, orkut, livejournal, road")
+		pfName   = flag.String("prefetcher", "droplet", "prefetcher: nopf, ghb, vldp, stream, streamMPP1, droplet, monoDROPLETL1")
+		scale    = flag.String("scale", "quick", "workload scale: quick or full")
+		cores    = flag.Int("cores", 4, "number of simulated cores")
+		llcKB    = flag.Int("llc", 0, "override LLC size in KB (0 = scale default)")
+		graphEL  = flag.String("graphfile", "", "run on a custom edge-list graph instead of a registered dataset")
+		asJSON   = flag.Bool("json", false, "emit the result summary as JSON")
+	)
+	flag.Parse()
+
+	if err := run(*algoName, *dataset, *pfName, *scale, *cores, *llcKB, *graphEL, *asJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "dropletsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(algoName, dataset, pfName, scaleName string, cores, llcKB int, graphEL string, asJSON bool) error {
+	var a workload.Algorithm
+	found := false
+	for _, cand := range workload.AllAlgorithms {
+		if strings.EqualFold(cand.String(), algoName) {
+			a = cand
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown algorithm %q", algoName)
+	}
+	kind, err := core.ParseKind(pfName)
+	if err != nil {
+		return err
+	}
+	sc := workload.Quick
+	switch scaleName {
+	case "quick":
+	case "full":
+		sc = workload.Full
+	default:
+		return fmt.Errorf("unknown scale %q", scaleName)
+	}
+
+	var tr *trace.Trace
+	if graphEL != "" {
+		f, err := os.Open(graphEL)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		g, err := graph.ReadEdgeList(f, graph.BuildOptions{Weighted: a.Weighted(), Dedupe: true, DropSelfLoops: true})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded %s: %v\n", graphEL, graph.ComputeDegreeStats(g))
+		tr, err = traceCustom(a, g, cores, sc)
+		if err != nil {
+			return err
+		}
+	} else {
+		b := workload.Benchmark{Algo: a, Dataset: dataset}
+		fmt.Printf("generating trace for %s at %s scale...\n", b, sc)
+		var err error
+		tr, err = workload.GenerateTrace(b, sc, cores)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("  %d events, %d instructions, %d cores\n", tr.Events(), tr.Instructions, tr.NumCores())
+
+	cfg := exp.Machine(sc)
+	cfg.Cores = cores
+	cfg.Prefetcher = kind
+	if llcKB > 0 {
+		cfg.LLC.SizeBytes = llcKB << 10
+	}
+	fmt.Printf("simulating on %dKB/%dKB/%dKB hierarchy with %v...\n",
+		cfg.L1.SizeBytes>>10, cfg.L2.SizeBytes>>10, cfg.LLC.SizeBytes>>10, kind)
+	r, err := sim.Run(tr, cfg)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(r.Summarize())
+	}
+	printResult(r)
+	return nil
+}
+
+// traceCustom records the chosen kernel over a user-supplied graph.
+func traceCustom(a workload.Algorithm, g *graph.CSR, cores int, sc workload.Scale) (*trace.Trace, error) {
+	opt := trace.Options{Cores: cores, MaxEvents: sc.MaxEvents(), PRIters: 2}
+	src := graph.LargestComponentSource(g)
+	switch a {
+	case workload.PR:
+		tr, _ := trace.PageRank(g, g.Transpose(), opt)
+		return tr, nil
+	case workload.BFS:
+		tr, _ := trace.BFS(g, src, opt)
+		return tr, nil
+	case workload.SSSP:
+		tr, _ := trace.SSSP(g, src, 0, opt)
+		return tr, nil
+	case workload.CC:
+		tr, _ := trace.CC(g, opt)
+		return tr, nil
+	case workload.BC:
+		tr, _ := trace.BC(g, []uint32{src}, opt)
+		return tr, nil
+	}
+	return nil, fmt.Errorf("unsupported algorithm %v", a)
+}
+
+func printResult(r *sim.Result) {
+	fmt.Printf("\ncycles        %d\n", r.Cycles)
+	fmt.Printf("instructions  %d\n", r.Instructions)
+	fmt.Printf("IPC           %.3f\n", r.IPC())
+	fmt.Printf("LLC MPKI      %.2f\n", r.LLCMPKI())
+	fmt.Printf("BPKI          %.2f\n", r.BPKI())
+	fmt.Printf("bandwidth     %.1f%%\n", r.BandwidthUtilization()*100)
+	fmt.Printf("L2 hit rate   %.1f%%\n", r.L2HitRate()*100)
+	fmt.Printf("MLP (DRAM)    %.2f\n", r.MLP())
+
+	base, byLevel := r.CycleStack()
+	fmt.Printf("\ncycle stack:  base %.1f%%", base*100)
+	for l := 0; l < memsys.NumLevels; l++ {
+		fmt.Printf("  %v %.1f%%", memsys.Level(l), byLevel[l]*100)
+	}
+	fmt.Println()
+
+	f := r.ServicedFractions()
+	fmt.Println("\nserviced by (per data type):")
+	for dt := 0; dt < mem.NumDataTypes; dt++ {
+		fmt.Printf("  %-14v", mem.DataType(dt))
+		for l := 0; l < memsys.NumLevels; l++ {
+			fmt.Printf("  %v %5.1f%%", memsys.Level(l), f[dt][l]*100)
+		}
+		fmt.Println()
+	}
+
+	for _, dt := range []mem.DataType{mem.Structure, mem.Property} {
+		if acc, ok := r.PrefetchAccuracy(dt); ok {
+			fmt.Printf("%-9v prefetch accuracy  %.1f%%\n", dt, acc*100)
+		}
+	}
+	if m := r.Attachment.MPP; m != nil {
+		s := m.Stats()
+		fmt.Printf("MPP: %d triggers, %d addresses, %d LLC copies, %d DRAM prefetches, %d dropped\n",
+			s.Triggers, s.AddrsGenerated, s.CopiedFromLLC, s.IssuedToDRAM, s.DroppedVABFull+s.DroppedFault)
+	}
+}

@@ -1,0 +1,229 @@
+// Package droplet is a from-scratch Go reproduction of
+//
+//	Basak et al., "Analysis and Optimization of the Memory Hierarchy for
+//	Graph Processing Workloads", HPCA 2019.
+//
+// It bundles a trace-driven multicore memory-hierarchy simulator (OOO
+// cores, private L1/L2, shared inclusive LLC, DDR3-style memory
+// controller), instrumented GAP graph kernels that generate data-type-
+// tagged memory traces, the paper's DROPLET data-aware decoupled
+// prefetcher, and every baseline prefetcher the paper evaluates.
+//
+// This package is the public facade over the internal implementation:
+// build or generate a graph, pick a kernel and machine, then Run.
+//
+//	g, _ := droplet.Kron(14, 16, droplet.GraphOptions{Seed: 1, Symmetrize: true})
+//	tr, _ := droplet.TraceOf(droplet.PR, g, droplet.TraceOptions{})
+//	cfg := droplet.ExperimentMachine()
+//	cfg.Prefetcher = droplet.DROPLET
+//	res, _ := droplet.Run(tr, cfg)
+//	fmt.Println(res.IPC())
+package droplet
+
+import (
+	"fmt"
+	"io"
+
+	"droplet/internal/algo"
+	"droplet/internal/core"
+	"droplet/internal/graph"
+	"droplet/internal/mem"
+	"droplet/internal/sim"
+	"droplet/internal/trace"
+	"droplet/internal/workload"
+)
+
+// Graph is a compressed-sparse-row graph (see internal/graph).
+type Graph = graph.CSR
+
+// Edge is one directed edge for FromEdges.
+type Edge = graph.Edge
+
+// GraphOptions configures the synthetic generators.
+type GraphOptions = graph.GenOptions
+
+// BuildOptions configures FromEdges.
+type BuildOptions = graph.BuildOptions
+
+// DegreeStats summarizes a graph's degree distribution.
+type DegreeStats = graph.DegreeStats
+
+// FromEdges builds a CSR graph from an edge list.
+func FromEdges(edges []Edge, opt BuildOptions) (*Graph, error) {
+	return graph.FromEdges(edges, opt)
+}
+
+// Kron generates a GAP-style Kronecker graph (2^scale vertices,
+// degree·2^scale sampled edges).
+func Kron(scale, degree int, opt GraphOptions) (*Graph, error) {
+	return graph.Kron(scale, degree, opt)
+}
+
+// Uniform generates a uniform-random graph.
+func Uniform(scale, degree int, opt GraphOptions) (*Graph, error) {
+	return graph.Uniform(scale, degree, opt)
+}
+
+// Grid generates a road-network-like 2D mesh.
+func Grid(rows, cols int, opt GraphOptions) (*Graph, error) {
+	return graph.Grid(rows, cols, opt)
+}
+
+// SocialNetwork generates an orkut/livejournal-style heavy-tailed graph.
+func SocialNetwork(scale, degree int, opt GraphOptions) (*Graph, error) {
+	return graph.SocialNetwork(scale, degree, opt)
+}
+
+// Stats computes degree statistics for g.
+func Stats(g *Graph) DegreeStats { return graph.ComputeDegreeStats(g) }
+
+// Kernel identifies one of the five GAP benchmark kernels (Table II).
+type Kernel = workload.Algorithm
+
+// The GAP kernels.
+const (
+	BC   = workload.BC
+	BFS  = workload.BFS
+	PR   = workload.PR
+	SSSP = workload.SSSP
+	CC   = workload.CC
+)
+
+// Kernels lists all five kernels in the paper's order.
+var Kernels = workload.AllAlgorithms
+
+// Trace is a data-type-tagged multicore memory trace.
+type Trace = trace.Trace
+
+// TraceOptions configures trace generation.
+type TraceOptions = trace.Options
+
+// DepStats is the load-load dependency profile of a trace (Figs. 5/6).
+type DepStats = trace.DepStats
+
+// TraceOf runs kernel k over g while recording its memory accesses.
+// SSSP requires a weighted graph; the other kernels ignore weights.
+// The source vertex (for BFS/SSSP/BC) is the highest-degree vertex.
+func TraceOf(k Kernel, g *Graph, opt TraceOptions) (*Trace, error) {
+	src := graph.LargestComponentSource(g)
+	switch k {
+	case PR:
+		tr, _ := trace.PageRank(g, g.Transpose(), opt)
+		return tr, nil
+	case BFS:
+		tr, _ := trace.BFS(g, src, opt)
+		return tr, nil
+	case SSSP:
+		if !g.Weighted() {
+			return nil, fmt.Errorf("droplet: SSSP requires a weighted graph")
+		}
+		tr, _ := trace.SSSP(g, src, 0, opt)
+		return tr, nil
+	case CC:
+		tr, _ := trace.CC(g, opt)
+		return tr, nil
+	case BC:
+		tr, _ := trace.BC(g, []uint32{src}, opt)
+		return tr, nil
+	default:
+		return nil, fmt.Errorf("droplet: unknown kernel %v", k)
+	}
+}
+
+// TraceOfDOBFS records GAP's direction-optimizing BFS (an extension
+// beyond the five Table II kernels; see algo.DOBFS) with the given
+// alpha/beta heuristics (0 = GAP defaults).
+func TraceOfDOBFS(g *Graph, alpha, beta int, opt TraceOptions) (*Trace, []int64) {
+	src := graph.LargestComponentSource(g)
+	return trace.DOBFS(g, g.Transpose(), src, alpha, beta, opt)
+}
+
+// AnalyzeDependencies computes the load-load dependency profile of a
+// trace through a ROB window of the given size.
+func AnalyzeDependencies(tr *Trace, robSize int) DepStats {
+	return trace.AnalyzeDependencies(tr, robSize)
+}
+
+// ReadEdgeList parses a SNAP/GAP-style edge list ("u v [w]" per line).
+func ReadEdgeList(r io.Reader, opt BuildOptions) (*Graph, error) {
+	return graph.ReadEdgeList(r, opt)
+}
+
+// WriteEdgeList writes g in the format ReadEdgeList parses.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// PageRankOptions configures RunPageRank.
+type PageRankOptions = algo.PageRankOptions
+
+// Reference algorithm results (exact, unsimulated) for validation.
+var (
+	// RunBFS returns per-vertex depths.
+	RunBFS = algo.BFS
+	// RunPageRank returns per-vertex scores.
+	RunPageRank = algo.PageRank
+	// RunSSSP returns per-vertex distances.
+	RunSSSP = algo.SSSP
+	// RunCC returns per-vertex component labels.
+	RunCC = algo.CC
+	// RunBC returns per-vertex centrality contributions.
+	RunBC = algo.BC
+)
+
+// MachineConfig describes a complete simulated machine.
+type MachineConfig = sim.Config
+
+// Result is the outcome of one simulation.
+type Result = sim.Result
+
+// Prefetcher selects one of the paper's six evaluated configurations.
+type Prefetcher = core.PrefetcherKind
+
+// The evaluated prefetcher configurations (Section VII-A), plus two
+// extensions: the Table IV "when to prefetch" ablation and the Section
+// VII-B adaptive data-awareness design.
+const (
+	NoPrefetch             = core.NoPrefetch
+	GHB                    = core.GHB
+	VLDP                   = core.VLDP
+	Stream                 = core.Stream
+	StreamMPP1             = core.StreamMPP1
+	DROPLET                = core.DROPLET
+	MonoDROPLETL1          = core.MonoDROPLETL1
+	DROPLETDemandTriggered = core.DROPLETDemandTriggered
+	DROPLETAdaptive        = core.DROPLETAdaptive
+)
+
+// Prefetchers lists every configuration in presentation order.
+var Prefetchers = core.AllKinds
+
+// ParsePrefetcher resolves a configuration name ("droplet", "stream", …).
+func ParsePrefetcher(s string) (Prefetcher, error) { return core.ParseKind(s) }
+
+// PaperMachine returns the paper's Table I baseline (32KB L1 / 256KB L2 /
+// 8MB LLC). Pair it with paper-sized graphs; for laptop-scale runs use
+// ExperimentMachine.
+func PaperMachine() MachineConfig { return sim.DefaultConfig() }
+
+// ExperimentMachine returns the scaled machine the experiment harness
+// uses (8KB L1 / 64KB L2 / 256KB LLC), preserving the paper's
+// footprint-to-capacity ratios against ~100K-vertex graphs.
+func ExperimentMachine() MachineConfig {
+	cfg := sim.DefaultConfig()
+	cfg.L1.SizeBytes = 8 << 10
+	cfg.L2.SizeBytes = 64 << 10
+	cfg.LLC.SizeBytes = 256 << 10
+	return cfg
+}
+
+// Run simulates tr on a machine built from cfg.
+func Run(tr *Trace, cfg MachineConfig) (*Result, error) { return sim.Run(tr, cfg) }
+
+// DataType classifies accesses (structure / property / intermediate).
+type DataType = mem.DataType
+
+// The data types of Section II-A.
+const (
+	Intermediate = mem.Intermediate
+	Structure    = mem.Structure
+	Property     = mem.Property
+)

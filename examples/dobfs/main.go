@@ -1,0 +1,70 @@
+// Direction-optimizing BFS (an extension beyond the paper's plain-BFS
+// benchmark): GAP's real BFS switches to a bottom-up sweep when the
+// frontier is large, trading far fewer edge visits for a scattered
+// structure access pattern. This example compares the two kernels' traces
+// and how well DROPLET prefetches each.
+//
+//	go run ./examples/dobfs
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"droplet"
+)
+
+func main() {
+	g, err := droplet.Kron(14, 16, droplet.GraphOptions{Seed: 21, Symmetrize: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("graph:", droplet.Stats(g))
+
+	plain, err := droplet.TraceOf(droplet.BFS, g, droplet.TraceOptions{Cores: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dobfs, depths := droplet.TraceOfDOBFS(g, 0, 0, droplet.TraceOptions{Cores: 4})
+	reached := 0
+	for _, d := range depths {
+		if d < 1<<62 {
+			reached++
+		}
+	}
+	fmt.Printf("\ntrace sizes: plain BFS %d events, direction-optimizing %d events\n",
+		plain.Events(), dobfs.Events())
+	fmt.Printf("(bottom-up sweeps skip most edge visits; %d vertices reached)\n\n", reached)
+
+	machine := droplet.ExperimentMachine()
+	machine.L1.SizeBytes = 2 << 10
+	machine.L2.SizeBytes = 16 << 10
+	machine.LLC.SizeBytes = 32 << 10
+
+	for _, tc := range []struct {
+		name string
+		tr   *droplet.Trace
+	}{
+		{"plain BFS", plain},
+		{"DO-BFS", dobfs},
+	} {
+		base := machine
+		base.Prefetcher = droplet.NoPrefetch
+		b, err := droplet.Run(tc.tr, base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dcfg := machine
+		dcfg.Prefetcher = droplet.DROPLET
+		d, err := droplet.Run(tc.tr, dcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sacc, _ := d.PrefetchAccuracy(droplet.Structure)
+		fmt.Printf("%-10s droplet speedup %.2fx, structure prefetch accuracy %.0f%%\n",
+			tc.name, d.Speedup(b), sacc*100)
+	}
+	fmt.Println("\nThe bottom-up phase restarts structure streams at random unvisited")
+	fmt.Println("vertices — the access behaviour the paper blames for BFS's lower")
+	fmt.Println("prefetch accuracy (Section VII-C).")
+}

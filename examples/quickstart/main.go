@@ -1,0 +1,66 @@
+// Quickstart: simulate PageRank over a Kronecker graph twice — once with
+// no prefetching and once with DROPLET — and compare.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"droplet"
+)
+
+func main() {
+	// 1. Generate a GAP-style Kronecker graph (16K vertices, ~500K edges).
+	g, err := droplet.Kron(14, 16, droplet.GraphOptions{Seed: 42, Symmetrize: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("graph:", droplet.Stats(g))
+
+	// 2. Record the memory trace of PageRank running on 4 cores.
+	tr, err := droplet.TraceOf(droplet.PR, g, droplet.TraceOptions{Cores: 4, PRIters: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d memory events, %d instructions\n\n", tr.Events(), tr.Instructions)
+
+	// 3. Simulate on a scaled Table-I machine, with and without DROPLET.
+	machine := droplet.ExperimentMachine()
+	machine.L1.SizeBytes = 2 << 10 // shrink further to match this small graph
+	machine.L2.SizeBytes = 16 << 10
+	machine.LLC.SizeBytes = 32 << 10
+
+	baselineCfg := machine
+	baselineCfg.Prefetcher = droplet.NoPrefetch
+	baseline, err := droplet.Run(tr, baselineCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dropletCfg := machine
+	dropletCfg.Prefetcher = droplet.DROPLET
+	withDroplet, err := droplet.Run(tr, dropletCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Compare.
+	fmt.Printf("%-12s %12s %8s %10s %10s\n", "config", "cycles", "IPC", "LLC MPKI", "L2 hit")
+	for _, row := range []struct {
+		name string
+		r    *droplet.Result
+	}{
+		{"no-prefetch", baseline},
+		{"droplet", withDroplet},
+	} {
+		fmt.Printf("%-12s %12d %8.3f %10.2f %9.1f%%\n",
+			row.name, row.r.Cycles, row.r.IPC(), row.r.LLCMPKI(), row.r.L2HitRate()*100)
+	}
+	fmt.Printf("\nDROPLET speedup: %.2fx\n", withDroplet.Speedup(baseline))
+
+	sacc, _ := withDroplet.PrefetchAccuracy(droplet.Structure)
+	pacc, _ := withDroplet.PrefetchAccuracy(droplet.Property)
+	fmt.Printf("prefetch accuracy: structure %.0f%%, property %.0f%%\n", sacc*100, pacc*100)
+}

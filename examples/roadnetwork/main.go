@@ -1,0 +1,80 @@
+// Road-network exception: the paper finds that for meshes the streamMPP1
+// configuration — a conventional streamer feeding the MPP — can beat
+// DROPLET, because the streamer also captures the road network's
+// well-behaved property and intermediate streams (CC-road, PR-road and
+// SSSP-road in Fig. 11a). This example reproduces the effect with
+// PageRank on a mesh, and contrasts it with SSSP whose scattered
+// wavefront defeats all stream-based training.
+//
+//	go run ./examples/roadnetwork
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"droplet"
+)
+
+func main() {
+	// A road-like mesh: 16K vertices, degree ~4, huge diameter, weighted.
+	g, err := droplet.Grid(128, 128, droplet.GraphOptions{Seed: 3, Weighted: true, MaxWeight: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("graph:", droplet.Stats(g))
+
+	tr, err := droplet.TraceOf(droplet.PR, g, droplet.TraceOptions{Cores: 4, PRIters: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PR trace: %d events\n\n", tr.Events())
+
+	machine := droplet.ExperimentMachine()
+	machine.L1.SizeBytes = 2 << 10
+	machine.L2.SizeBytes = 16 << 10
+	machine.LLC.SizeBytes = 32 << 10
+
+	configs := []droplet.Prefetcher{
+		droplet.NoPrefetch, droplet.Stream, droplet.StreamMPP1, droplet.DROPLET,
+	}
+	fmt.Printf("%-12s %10s %12s %12s\n", "prefetcher", "speedup", "struct acc", "prop acc")
+	var baseline *droplet.Result
+	for _, pf := range configs {
+		cfg := machine
+		cfg.Prefetcher = pf
+		r, err := droplet.Run(tr, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if baseline == nil {
+			baseline = r
+		}
+		sa, _ := r.PrefetchAccuracy(droplet.Structure)
+		pa, _ := r.PrefetchAccuracy(droplet.Property)
+		fmt.Printf("%-12v %9.2fx %11.1f%% %11.1f%%\n", pf, r.Speedup(baseline), sa*100, pa*100)
+	}
+	fmt.Println("\nOn meshes the access pattern is so regular that the conventional")
+	fmt.Println("streamer captures property data too; DROPLET's structure-only")
+	fmt.Println("streamer gives part of that coverage away (Section VII-B).")
+
+	// Contrast: SSSP's delta-stepping wavefront is scattered, so neither
+	// streamer trains well — prefetching buys little on road SSSP at this
+	// machine scale.
+	trS, err := droplet.TraceOf(droplet.SSSP, g, droplet.TraceOptions{Cores: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := machine
+	cfg.Prefetcher = droplet.NoPrefetch
+	b2, err := droplet.Run(trS, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Prefetcher = droplet.DROPLET
+	d2, err := droplet.Run(trS, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSSSP on the same mesh: droplet speedup only %.2fx (scattered wavefront)\n", d2.Speedup(b2))
+}

@@ -1,0 +1,3 @@
+module droplet
+
+go 1.24

@@ -1,0 +1,300 @@
+// Package algo implements reference versions of the five GAP benchmark
+// kernels the paper profiles (Table II): Breadth-First Search, PageRank,
+// Single-Source Shortest Paths, Connected Components, and Betweenness
+// Centrality.
+//
+// These implementations are the functional oracles: the instrumented
+// twins in internal/trace replay exactly the same access sequences through
+// the memory tracer, and tests assert both produce identical results.
+package algo
+
+import "droplet/internal/graph"
+
+// InfDist marks unreachable vertices in BFS/SSSP outputs.
+const InfDist = int64(1) << 62
+
+// BFS performs a level-synchronous top-down breadth-first search from
+// source and returns the depth of every vertex (InfDist if unreachable).
+func BFS(g *graph.CSR, source uint32) []int64 {
+	n := g.NumVertices()
+	depth := make([]int64, n)
+	for i := range depth {
+		depth[i] = InfDist
+	}
+	if n == 0 {
+		return depth
+	}
+	depth[source] = 0
+	frontier := []uint32{source}
+	for level := int64(1); len(frontier) > 0; level++ {
+		var next []uint32
+		for _, u := range frontier {
+			for _, v := range g.Neighbors(u) {
+				if depth[v] == InfDist {
+					depth[v] = level
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return depth
+}
+
+// BFSParents returns the parent array of a BFS tree from source; a
+// vertex's parent is itself for the source and -1 when unreachable.
+func BFSParents(g *graph.CSR, source uint32) []int64 {
+	n := g.NumVertices()
+	parent := make([]int64, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	if n == 0 {
+		return parent
+	}
+	parent[source] = int64(source)
+	frontier := []uint32{source}
+	for len(frontier) > 0 {
+		var next []uint32
+		for _, u := range frontier {
+			for _, v := range g.Neighbors(u) {
+				if parent[v] < 0 {
+					parent[v] = int64(u)
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return parent
+}
+
+// PageRankOptions configures PageRank.
+type PageRankOptions struct {
+	Damping   float64 // default 0.85
+	Epsilon   float64 // L1 convergence threshold; default 1e-4
+	MaxIters  int     // default 20 (GAP default)
+	Transpose *graph.CSR
+}
+
+func (o PageRankOptions) withDefaults() PageRankOptions {
+	if o.Damping == 0 {
+		o.Damping = 0.85
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 1e-4
+	}
+	if o.MaxIters == 0 {
+		o.MaxIters = 20
+	}
+	return o
+}
+
+// PageRank computes pull-based PageRank: each iteration reads the
+// contribution of every incoming neighbor (score/outdegree), the classic
+// property-array indirect access the paper profiles. The transpose graph
+// may be supplied to avoid recomputation; otherwise it is built once.
+func PageRank(g *graph.CSR, opt PageRankOptions) []float64 {
+	opt = opt.withDefaults()
+	n := g.NumVertices()
+	scores := make([]float64, n)
+	if n == 0 {
+		return scores
+	}
+	tr := opt.Transpose
+	if tr == nil {
+		tr = g.Transpose()
+	}
+	init := 1.0 / float64(n)
+	for i := range scores {
+		scores[i] = init
+	}
+	contrib := make([]float64, n)
+	base := (1.0 - opt.Damping) / float64(n)
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		for v := 0; v < n; v++ {
+			if d := g.Degree(uint32(v)); d > 0 {
+				contrib[v] = scores[v] / float64(d)
+			} else {
+				contrib[v] = 0
+			}
+		}
+		var delta float64
+		for v := 0; v < n; v++ {
+			var sum float64
+			for _, u := range tr.Neighbors(uint32(v)) {
+				sum += contrib[u]
+			}
+			next := base + opt.Damping*sum
+			delta += abs(next - scores[v])
+			scores[v] = next
+		}
+		if delta < opt.Epsilon {
+			break
+		}
+	}
+	return scores
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// SSSP computes single-source shortest paths over a weighted graph using
+// delta-stepping with integer bins, GAP's formulation. delta <= 0 picks a
+// default of max(1, mean edge weight).
+func SSSP(g *graph.CSR, source uint32, delta int64) []int64 {
+	n := g.NumVertices()
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = InfDist
+	}
+	if n == 0 {
+		return dist
+	}
+	if !g.Weighted() {
+		panic("algo: SSSP requires a weighted graph")
+	}
+	if delta <= 0 {
+		var sum int64
+		for i := int64(0); i < g.NumEdges(); i++ {
+			sum += int64(g.WeightAt(i))
+		}
+		delta = 1
+		if g.NumEdges() > 0 {
+			if avg := sum / g.NumEdges(); avg > 1 {
+				delta = avg
+			}
+		}
+	}
+
+	dist[source] = 0
+	bins := map[int64][]uint32{0: {source}}
+	for bin := int64(0); len(bins) > 0; bin++ {
+		frontier, ok := bins[bin]
+		if !ok {
+			continue
+		}
+		delete(bins, bin)
+		for len(frontier) > 0 {
+			var retained []uint32
+			for _, u := range frontier {
+				du := dist[u]
+				if du/delta != bin { // stale entry; u was relaxed into another bin
+					continue
+				}
+				ws := g.NeighborWeights(u)
+				for i, v := range g.Neighbors(u) {
+					nd := du + int64(ws[i])
+					if nd < dist[v] {
+						dist[v] = nd
+						target := nd / delta
+						if target == bin {
+							retained = append(retained, v)
+						} else {
+							bins[target] = append(bins[target], v)
+						}
+					}
+				}
+			}
+			frontier = retained
+		}
+	}
+	return dist
+}
+
+// CC computes connected components with the Shiloach–Vishkin algorithm
+// (hooking plus pointer jumping), treating the graph as undirected when it
+// has been symmetrized. The result maps every vertex to a component label
+// equal to the smallest vertex ID in its component.
+func CC(g *graph.CSR) []uint32 {
+	n := g.NumVertices()
+	comp := make([]uint32, n)
+	for i := range comp {
+		comp[i] = uint32(i)
+	}
+	for changed := true; changed; {
+		changed = false
+		// Hooking: adopt the smaller label across each edge.
+		for u := 0; u < n; u++ {
+			cu := comp[u]
+			for _, v := range g.Neighbors(uint32(u)) {
+				cv := comp[v]
+				if cv < cu {
+					comp[cu] = cv // hook the representative, SV-style
+					cu = cv
+					changed = true
+				} else if cu < cv {
+					comp[cv] = cu
+					changed = true
+				}
+			}
+		}
+		// Pointer jumping: compress label chains.
+		for v := 0; v < n; v++ {
+			for comp[v] != comp[comp[v]] {
+				comp[v] = comp[comp[v]]
+			}
+		}
+	}
+	return comp
+}
+
+// BC computes betweenness-centrality contributions from the given sources
+// using Brandes' algorithm (forward BFS counting shortest paths, backward
+// dependency accumulation). GAP samples a handful of sources; the paper's
+// benchmark does the same.
+func BC(g *graph.CSR, sources []uint32) []float64 {
+	n := g.NumVertices()
+	bc := make([]float64, n)
+	if n == 0 {
+		return bc
+	}
+	depth := make([]int64, n)
+	sigma := make([]float64, n)
+	deltaAcc := make([]float64, n)
+	order := make([]uint32, 0, n)
+	for _, s := range sources {
+		for i := 0; i < n; i++ {
+			depth[i] = -1
+			sigma[i] = 0
+			deltaAcc[i] = 0
+		}
+		order = order[:0]
+		depth[s] = 0
+		sigma[s] = 1
+		frontier := []uint32{s}
+		for len(frontier) > 0 {
+			var next []uint32
+			for _, u := range frontier {
+				order = append(order, u)
+				for _, v := range g.Neighbors(u) {
+					if depth[v] < 0 {
+						depth[v] = depth[u] + 1
+						next = append(next, v)
+					}
+					if depth[v] == depth[u]+1 {
+						sigma[v] += sigma[u]
+					}
+				}
+			}
+			frontier = next
+		}
+		// Backward pass in reverse BFS order.
+		for i := len(order) - 1; i >= 0; i-- {
+			u := order[i]
+			for _, v := range g.Neighbors(u) {
+				if depth[v] == depth[u]+1 && sigma[v] > 0 {
+					deltaAcc[u] += sigma[u] / sigma[v] * (1 + deltaAcc[v])
+				}
+			}
+			if u != s {
+				bc[u] += deltaAcc[u]
+			}
+		}
+	}
+	return bc
+}

@@ -1,0 +1,344 @@
+package algo
+
+import (
+	"math"
+	"testing"
+
+	"droplet/internal/graph"
+)
+
+func buildGraph(t *testing.T, edges []graph.Edge, opt graph.BuildOptions) *graph.CSR {
+	t.Helper()
+	g, err := graph.FromEdges(edges, opt)
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	return g
+}
+
+// randomGraph generates a deterministic random test graph.
+func randomGraph(t *testing.T, seed uint64, n, m int, weighted bool) *graph.CSR {
+	t.Helper()
+	r := graph.NewRNG(seed)
+	edges := make([]graph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		edges = append(edges, graph.Edge{
+			U: uint32(r.Intn(n)), V: uint32(r.Intn(n)), W: int32(r.Intn(9)) + 1,
+		})
+	}
+	return buildGraph(t, edges, graph.BuildOptions{
+		NumVertices: n, Dedupe: true, DropSelfLoops: true, Weighted: weighted, Symmetrize: true,
+	})
+}
+
+// --- oracles ---
+
+// bfsOracle is a naive O(V*E) Bellman-Ford-style unweighted distance solver.
+func bfsOracle(g *graph.CSR, source uint32) []int64 {
+	n := g.NumVertices()
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = InfDist
+	}
+	dist[source] = 0
+	for changed := true; changed; {
+		changed = false
+		for u := 0; u < n; u++ {
+			if dist[u] == InfDist {
+				continue
+			}
+			for _, v := range g.Neighbors(uint32(u)) {
+				if dist[u]+1 < dist[v] {
+					dist[v] = dist[u] + 1
+					changed = true
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// ssspOracle is naive Bellman-Ford.
+func ssspOracle(g *graph.CSR, source uint32) []int64 {
+	n := g.NumVertices()
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = InfDist
+	}
+	dist[source] = 0
+	for changed := true; changed; {
+		changed = false
+		for u := 0; u < n; u++ {
+			if dist[u] == InfDist {
+				continue
+			}
+			ws := g.NeighborWeights(uint32(u))
+			for i, v := range g.Neighbors(uint32(u)) {
+				if nd := dist[u] + int64(ws[i]); nd < dist[v] {
+					dist[v] = nd
+					changed = true
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// ccOracle labels components via repeated relaxation to the min ID.
+func ccOracle(g *graph.CSR) []uint32 {
+	n := g.NumVertices()
+	comp := make([]uint32, n)
+	for i := range comp {
+		comp[i] = uint32(i)
+	}
+	for changed := true; changed; {
+		changed = false
+		for u := 0; u < n; u++ {
+			for _, v := range g.Neighbors(uint32(u)) {
+				if comp[v] < comp[u] {
+					comp[u] = comp[v]
+					changed = true
+				} else if comp[u] < comp[v] {
+					comp[v] = comp[u]
+					changed = true
+				}
+			}
+		}
+	}
+	return comp
+}
+
+// --- tests ---
+
+func TestBFSLine(t *testing.T) {
+	g := buildGraph(t, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}}, graph.BuildOptions{})
+	d := BFS(g, 0)
+	want := []int64{0, 1, 2, 3}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("depth[%d] = %d, want %d", i, d[i], want[i])
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := buildGraph(t, []graph.Edge{{U: 0, V: 1}}, graph.BuildOptions{NumVertices: 3})
+	d := BFS(g, 0)
+	if d[2] != InfDist {
+		t.Errorf("depth[2] = %d, want InfDist", d[2])
+	}
+}
+
+func TestBFSAgainstOracle(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		g := randomGraph(t, seed, 60, 150, false)
+		src := graph.LargestComponentSource(g)
+		got, want := BFS(g, src), bfsOracle(g, src)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: depth[%d] = %d, want %d", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBFSParentsConsistent(t *testing.T) {
+	g := randomGraph(t, 9, 50, 120, false)
+	src := graph.LargestComponentSource(g)
+	par := BFSParents(g, src)
+	dep := BFS(g, src)
+	for v := range par {
+		switch {
+		case par[v] < 0:
+			if dep[v] != InfDist {
+				t.Errorf("vertex %d reachable but no parent", v)
+			}
+		case uint32(v) == src:
+			if par[v] != int64(src) {
+				t.Errorf("source parent = %d", par[v])
+			}
+		default:
+			if dep[v] != dep[par[v]]+1 {
+				t.Errorf("vertex %d depth %d but parent depth %d", v, dep[v], dep[par[v]])
+			}
+		}
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g := randomGraph(t, 2, 80, 400, false)
+	pr := PageRank(g, PageRankOptions{MaxIters: 50, Epsilon: 1e-9})
+	var sum float64
+	for _, s := range pr {
+		if s < 0 {
+			t.Fatalf("negative score %v", s)
+		}
+		sum += s
+	}
+	// Dangling vertices leak mass in the GAP formulation, so allow slack.
+	if sum < 0.5 || sum > 1.0001 {
+		t.Errorf("score sum = %v, want ~1", sum)
+	}
+}
+
+func TestPageRankStar(t *testing.T) {
+	// Star: all leaves point at the hub; hub must out-rank every leaf.
+	edges := []graph.Edge{{U: 1, V: 0}, {U: 2, V: 0}, {U: 3, V: 0}, {U: 4, V: 0}, {U: 0, V: 1}}
+	g := buildGraph(t, edges, graph.BuildOptions{})
+	pr := PageRank(g, PageRankOptions{})
+	for v := 2; v <= 4; v++ {
+		if pr[0] <= pr[v] {
+			t.Errorf("hub score %v not above leaf %d score %v", pr[0], v, pr[v])
+		}
+	}
+}
+
+func TestPageRankUniformOnCycle(t *testing.T) {
+	edges := []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 0}}
+	g := buildGraph(t, edges, graph.BuildOptions{})
+	pr := PageRank(g, PageRankOptions{MaxIters: 100, Epsilon: 1e-12})
+	for v := 1; v < 4; v++ {
+		if math.Abs(pr[v]-pr[0]) > 1e-9 {
+			t.Errorf("cycle scores differ: pr[%d]=%v pr[0]=%v", v, pr[v], pr[0])
+		}
+	}
+}
+
+func TestSSSPAgainstOracle(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		g := randomGraph(t, seed+100, 60, 150, true)
+		src := graph.LargestComponentSource(g)
+		got, want := SSSP(g, src, 0), ssspOracle(g, src)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: dist[%d] = %d, want %d", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSSSPDeltaVariants(t *testing.T) {
+	g := randomGraph(t, 77, 50, 160, true)
+	src := graph.LargestComponentSource(g)
+	want := ssspOracle(g, src)
+	for _, delta := range []int64{1, 2, 5, 100} {
+		got := SSSP(g, src, delta)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("delta %d: dist[%d] = %d, want %d", delta, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSSSPUnweightedPanics(t *testing.T) {
+	g := buildGraph(t, []graph.Edge{{U: 0, V: 1}}, graph.BuildOptions{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SSSP on unweighted graph did not panic")
+		}
+	}()
+	SSSP(g, 0, 1)
+}
+
+func TestCCAgainstOracle(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		g := randomGraph(t, seed+200, 70, 90, false)
+		got, want := CC(g), ccOracle(g)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: comp[%d] = %d, want %d", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCCIsolatedVertices(t *testing.T) {
+	g := buildGraph(t, []graph.Edge{{U: 0, V: 1}}, graph.BuildOptions{NumVertices: 4, Symmetrize: true})
+	comp := CC(g)
+	if comp[0] != 0 || comp[1] != 0 || comp[2] != 2 || comp[3] != 3 {
+		t.Errorf("comp = %v", comp)
+	}
+}
+
+func TestBCPath(t *testing.T) {
+	// Path 0-1-2 (undirected): vertex 1 lies on the only 0↔2 shortest path.
+	g := buildGraph(t, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}, graph.BuildOptions{Symmetrize: true})
+	bc := BC(g, []uint32{0, 1, 2})
+	if bc[1] <= bc[0] || bc[1] <= bc[2] {
+		t.Errorf("bc = %v, want middle vertex dominant", bc)
+	}
+	// From all sources on a 3-path, vertex 1's score is exactly 2
+	// (it interior to 0→2 and 2→0).
+	if math.Abs(bc[1]-2) > 1e-9 {
+		t.Errorf("bc[1] = %v, want 2", bc[1])
+	}
+}
+
+func TestBCStarHub(t *testing.T) {
+	edges := []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 0, V: 4}}
+	g := buildGraph(t, edges, graph.BuildOptions{Symmetrize: true})
+	sources := []uint32{0, 1, 2, 3, 4}
+	bc := BC(g, sources)
+	// Hub is interior to all 4*3 leaf-pair paths.
+	if math.Abs(bc[0]-12) > 1e-9 {
+		t.Errorf("bc[0] = %v, want 12", bc[0])
+	}
+	for v := 1; v <= 4; v++ {
+		if bc[v] != 0 {
+			t.Errorf("leaf bc[%d] = %v, want 0", v, bc[v])
+		}
+	}
+}
+
+func TestEmptyGraphs(t *testing.T) {
+	g := buildGraph(t, nil, graph.BuildOptions{})
+	if len(BFS(g, 0)) != 0 || len(PageRank(g, PageRankOptions{})) != 0 || len(CC(g)) != 0 {
+		t.Error("empty graph should give empty results")
+	}
+	if len(BC(g, nil)) != 0 {
+		t.Error("empty BC should be empty")
+	}
+}
+
+func TestDOBFSMatchesBFS(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		g := randomGraph(t, seed+500, 80, 400, false)
+		tr := g.Transpose()
+		src := graph.LargestComponentSource(g)
+		want := BFS(g, src)
+		got := DOBFS(g, tr, src, DOBFSOptions{})
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: depth[%d] = %d, want %d", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDOBFSForcedBottomUp(t *testing.T) {
+	// Alpha=1 makes the switch trigger almost immediately; results must
+	// still be exact.
+	g := randomGraph(t, 900, 60, 500, false)
+	tr := g.Transpose()
+	src := graph.LargestComponentSource(g)
+	want := BFS(g, src)
+	got := DOBFS(g, tr, src, DOBFSOptions{Alpha: 1, Beta: 2})
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("depth[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDOBFSEmptyAndSingleton(t *testing.T) {
+	g := buildGraph(t, nil, graph.BuildOptions{})
+	if d := DOBFS(g, g, 0, DOBFSOptions{}); len(d) != 0 {
+		t.Error("empty graph should give empty result")
+	}
+	g1 := buildGraph(t, nil, graph.BuildOptions{NumVertices: 1})
+	d := DOBFS(g1, g1, 0, DOBFSOptions{})
+	if d[0] != 0 {
+		t.Errorf("singleton depth = %d", d[0])
+	}
+}

@@ -1,0 +1,98 @@
+package algo
+
+import "droplet/internal/graph"
+
+// DOBFSOptions tunes the direction-optimizing BFS heuristics (Beamer's
+// alpha/beta parameters, GAP's defaults 15/18).
+type DOBFSOptions struct {
+	Alpha int // switch to bottom-up when frontier edges exceed |E_unexplored|/Alpha
+	Beta  int // switch back to top-down when frontier shrinks below |V|/Beta
+}
+
+func (o DOBFSOptions) withDefaults() DOBFSOptions {
+	if o.Alpha == 0 {
+		o.Alpha = 15
+	}
+	if o.Beta == 0 {
+		o.Beta = 18
+	}
+	return o
+}
+
+// DOBFS is GAP's direction-optimizing breadth-first search: top-down
+// frontier expansion switches to bottom-up (every unvisited vertex scans
+// its incoming neighbors for a frontier parent) when the frontier gets
+// large, and back again when it shrinks. tr must be g's transpose (equal
+// to g for symmetric graphs). The returned depths equal plain BFS's.
+func DOBFS(g, tr *graph.CSR, source uint32, opt DOBFSOptions) []int64 {
+	opt = opt.withDefaults()
+	n := g.NumVertices()
+	depth := make([]int64, n)
+	for i := range depth {
+		depth[i] = InfDist
+	}
+	if n == 0 {
+		return depth
+	}
+	depth[source] = 0
+
+	frontier := []uint32{source}
+	frontierEdges := int64(g.Degree(source))
+	unexplored := g.NumEdges()
+	level := int64(1)
+
+	for len(frontier) > 0 {
+		if frontierEdges > unexplored/int64(opt.Alpha) {
+			// Bottom-up phase: run until the frontier is small again.
+			inFrontier := make([]bool, n)
+			for _, v := range frontier {
+				inFrontier[v] = true
+			}
+			for {
+				var next []uint32
+				for v := 0; v < n; v++ {
+					if depth[v] != InfDist {
+						continue
+					}
+					for _, u := range tr.Neighbors(uint32(v)) {
+						if inFrontier[u] {
+							depth[v] = level
+							next = append(next, uint32(v))
+							break
+						}
+					}
+				}
+				level++
+				if len(next) == 0 {
+					return depth
+				}
+				if len(next) < n/opt.Beta {
+					frontier = next
+					break
+				}
+				inFrontier = make([]bool, n)
+				for _, v := range next {
+					inFrontier[v] = true
+				}
+			}
+		} else {
+			var next []uint32
+			for _, u := range frontier {
+				for _, v := range g.Neighbors(u) {
+					if depth[v] == InfDist {
+						depth[v] = level
+						next = append(next, v)
+					}
+				}
+			}
+			frontier = next
+			level++
+		}
+		frontierEdges = 0
+		for _, u := range frontier {
+			frontierEdges += int64(g.Degree(u))
+			unexplored -= int64(g.Degree(u))
+		}
+	}
+	return depth
+}

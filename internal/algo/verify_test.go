@@ -1,0 +1,97 @@
+package algo
+
+import (
+	"testing"
+
+	"droplet/internal/graph"
+)
+
+func TestVerifyBFSAcceptsCorrect(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		g := randomGraph(t, seed+700, 70, 300, false)
+		src := graph.LargestComponentSource(g)
+		if !VerifyBFS(g, src, BFS(g, src)) {
+			t.Fatalf("seed %d: correct BFS rejected", seed)
+		}
+	}
+}
+
+func TestVerifyBFSRejectsCorrupted(t *testing.T) {
+	g := randomGraph(t, 701, 70, 300, false)
+	src := graph.LargestComponentSource(g)
+	d := BFS(g, src)
+	// Corrupt a reached vertex.
+	for v := range d {
+		if uint32(v) != src && d[v] != InfDist {
+			d[v]++
+			break
+		}
+	}
+	if VerifyBFS(g, src, d) {
+		t.Fatal("corrupted BFS accepted")
+	}
+	if VerifyBFS(g, src, d[:10]) {
+		t.Fatal("wrong-length BFS accepted")
+	}
+}
+
+func TestVerifySSSPAcceptsCorrect(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		g := randomGraph(t, seed+800, 60, 250, true)
+		src := graph.LargestComponentSource(g)
+		if !VerifySSSP(g, src, SSSP(g, src, 0)) {
+			t.Fatalf("seed %d: correct SSSP rejected", seed)
+		}
+	}
+}
+
+func TestVerifySSSPRejectsCorrupted(t *testing.T) {
+	g := randomGraph(t, 801, 60, 250, true)
+	src := graph.LargestComponentSource(g)
+	d := SSSP(g, src, 0)
+	for v := range d {
+		if uint32(v) != src && d[v] != InfDist && d[v] > 0 {
+			d[v]-- // too-small distance: some edge looks relaxable backwards
+			break
+		}
+	}
+	if VerifySSSP(g, src, d) {
+		t.Fatal("corrupted SSSP accepted")
+	}
+}
+
+func TestVerifyCCAcceptsCorrect(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		g := randomGraph(t, seed+900, 80, 120, false)
+		if !VerifyCC(g, CC(g)) {
+			t.Fatalf("seed %d: correct CC rejected", seed)
+		}
+	}
+}
+
+func TestVerifyCCRejectsCorrupted(t *testing.T) {
+	g := randomGraph(t, 901, 80, 120, false)
+	comp := CC(g)
+	// Split one edge's endpoints into different labels.
+	for u := 0; u < g.NumVertices(); u++ {
+		if len(g.Neighbors(uint32(u))) > 0 && comp[u] != uint32(u) {
+			comp[u] = uint32(u)
+			break
+		}
+	}
+	if VerifyCC(g, comp) {
+		t.Fatal("corrupted CC accepted")
+	}
+}
+
+func TestVerifyPageRank(t *testing.T) {
+	g := randomGraph(t, 950, 80, 400, false)
+	pr := PageRank(g, PageRankOptions{MaxIters: 100, Epsilon: 1e-10})
+	if !VerifyPageRank(g, pr, 0.85, 1e-6) {
+		t.Fatal("converged PageRank rejected")
+	}
+	pr[3] += 0.5
+	if VerifyPageRank(g, pr, 0.85, 1e-6) {
+		t.Fatal("corrupted PageRank accepted")
+	}
+}

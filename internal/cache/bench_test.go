@@ -1,0 +1,38 @@
+package cache
+
+import (
+	"testing"
+
+	"droplet/internal/mem"
+)
+
+func BenchmarkAccessHit(b *testing.B) {
+	c := New(Config{Name: "b", SizeBytes: 32 << 10, Assoc: 8, LatencyTag: 1, LatencyData: 4})
+	c.Fill(0x1000, mem.Property, 0, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0x1000, mem.Property, false, int64(i))
+	}
+}
+
+func BenchmarkAccessMissAndFill(b *testing.B) {
+	c := New(Config{Name: "b", SizeBytes: 32 << 10, Assoc: 8, LatencyTag: 1, LatencyData: 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := mem.Addr(i) << mem.LineShift
+		if _, ok := c.Access(addr, mem.Structure, false, int64(i)); !ok {
+			c.Fill(addr, mem.Structure, int64(i), false)
+		}
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	c := New(Config{Name: "b", SizeBytes: 32 << 10, Assoc: 16, LatencyTag: 1, LatencyData: 4})
+	for i := 0; i < 512; i++ {
+		c.Fill(mem.Addr(i)<<mem.LineShift, mem.Property, 0, false)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(mem.Addr(i&511) << mem.LineShift)
+	}
+}

@@ -1,0 +1,319 @@
+// Package cache implements the set-associative, write-back, LRU caches of
+// the simulated memory hierarchy (Table I: private L1D and L2, shared
+// inclusive L3), with per-data-type statistics and support for in-flight
+// fills so prefetch timeliness can be modeled.
+package cache
+
+import (
+	"fmt"
+
+	"droplet/internal/mem"
+)
+
+// Config describes one cache.
+type Config struct {
+	Name string
+	// SizeBytes and Assoc define the geometry; both must be powers-of-two
+	// multiples of the 64-byte line.
+	SizeBytes int
+	Assoc     int
+	// LatencyTag and LatencyData are the access times in cycles (Table I
+	// gives them separately; a miss pays the tag latency, a hit the data
+	// latency).
+	LatencyTag  int
+	LatencyData int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.SizeBytes%mem.LineSize != 0 {
+		return fmt.Errorf("cache %s: size %d not a positive multiple of %d", c.Name, c.SizeBytes, mem.LineSize)
+	}
+	lines := c.SizeBytes / mem.LineSize
+	if c.Assoc <= 0 || lines%c.Assoc != 0 {
+		return fmt.Errorf("cache %s: assoc %d does not divide %d lines", c.Name, c.Assoc, lines)
+	}
+	sets := lines / c.Assoc
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: %d sets not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// line is one cache line's metadata.
+type line struct {
+	tag        uint64
+	valid      bool
+	dirty      bool
+	prefetched bool // installed by a prefetcher and not yet demanded
+	dtype      mem.DataType
+	readyAt    int64 // fill completion time; accesses before this wait
+	lru        uint64
+}
+
+// Victim describes a line evicted by a fill.
+type Victim struct {
+	Addr       mem.Addr
+	Dirty      bool
+	Valid      bool
+	Prefetched bool // evicted before any demand touched it (a wasted prefetch)
+	DType      mem.DataType
+}
+
+// Stats aggregates per-cache counters, split by data type.
+type Stats struct {
+	DemandAccesses [mem.NumDataTypes]uint64
+	DemandHits     [mem.NumDataTypes]uint64
+	DemandMisses   [mem.NumDataTypes]uint64
+	// PrefetchHits counts demand hits on lines a prefetcher installed
+	// (the numerator of prefetch accuracy).
+	PrefetchHits [mem.NumDataTypes]uint64
+	// PrefetchEvictedUnused counts prefetched lines evicted untouched.
+	PrefetchEvictedUnused [mem.NumDataTypes]uint64
+	Fills                 uint64
+	PrefetchFills         uint64
+	Writebacks            uint64
+}
+
+// TotalAccesses returns all demand accesses.
+func (s *Stats) TotalAccesses() uint64 {
+	var t uint64
+	for _, v := range s.DemandAccesses {
+		t += v
+	}
+	return t
+}
+
+// TotalHits returns all demand hits.
+func (s *Stats) TotalHits() uint64 {
+	var t uint64
+	for _, v := range s.DemandHits {
+		t += v
+	}
+	return t
+}
+
+// TotalMisses returns all demand misses.
+func (s *Stats) TotalMisses() uint64 {
+	var t uint64
+	for _, v := range s.DemandMisses {
+		t += v
+	}
+	return t
+}
+
+// HitRate returns demand hits / demand accesses.
+func (s *Stats) HitRate() float64 {
+	a := s.TotalAccesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.TotalHits()) / float64(a)
+}
+
+// Cache is one set-associative cache. Addresses passed in are line-aligned
+// automatically.
+type Cache struct {
+	cfg     Config
+	sets    []([]line)
+	setMask uint64
+	tick    uint64
+	stats   Stats
+}
+
+// New builds a cache from cfg, panicking on invalid geometry (a
+// configuration error, not a runtime condition).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	numSets := cfg.SizeBytes / mem.LineSize / cfg.Assoc
+	sets := make([][]line, numSets)
+	backing := make([]line, numSets*cfg.Assoc)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	return &Cache{cfg: cfg, sets: sets, setMask: uint64(numSets - 1)}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a pointer to the live counters.
+func (c *Cache) Stats() *Stats { return &c.stats }
+
+func (c *Cache) locate(addr mem.Addr) (set []line, tag uint64) {
+	la := addr >> mem.LineShift
+	return c.sets[la&c.setMask], la >> 0
+}
+
+// Lookup probes for addr without updating stats or LRU. It returns the
+// line's readiness time when present. Used by the coherence engine.
+func (c *Cache) Lookup(addr mem.Addr) (readyAt int64, ok bool) {
+	set, tag := c.locate(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return set[i].readyAt, true
+		}
+	}
+	return 0, false
+}
+
+// Access performs a demand access at time now. On a hit it returns
+// ok=true and readyAt, the time the data can be forwarded (>= now; later
+// than now only when the line is still in flight). LRU and all stats are
+// updated; a write marks the line dirty.
+func (c *Cache) Access(addr mem.Addr, dtype mem.DataType, write bool, now int64) (readyAt int64, ok bool) {
+	set, tag := c.locate(addr)
+	c.stats.DemandAccesses[dtype]++
+	for i := range set {
+		ln := &set[i]
+		if !ln.valid || ln.tag != tag {
+			continue
+		}
+		c.stats.DemandHits[dtype]++
+		if ln.prefetched {
+			c.stats.PrefetchHits[ln.dtype]++
+			ln.prefetched = false
+		}
+		if write {
+			ln.dirty = true
+		}
+		c.tick++
+		ln.lru = c.tick
+		r := ln.readyAt
+		if r < now {
+			r = now
+		}
+		return r, true
+	}
+	c.stats.DemandMisses[dtype]++
+	return 0, false
+}
+
+// Fill installs addr, ready at readyAt, evicting the LRU way if needed.
+// prefetch marks prefetcher-installed lines for accuracy accounting.
+// The returned victim is valid when a line was displaced; inclusive
+// hierarchies must back-invalidate it upstream and write it back
+// downstream when dirty.
+func (c *Cache) Fill(addr mem.Addr, dtype mem.DataType, readyAt int64, prefetch bool) Victim {
+	set, tag := c.locate(addr)
+	c.stats.Fills++
+	if prefetch {
+		c.stats.PrefetchFills++
+	}
+	victimIdx := -1
+	var oldest uint64 = ^uint64(0)
+	for i := range set {
+		ln := &set[i]
+		if ln.valid && ln.tag == tag {
+			// Refill of a resident line (e.g. prefetch racing demand):
+			// keep the earlier readiness, merge flags.
+			if readyAt < ln.readyAt {
+				ln.readyAt = readyAt
+			}
+			if !prefetch {
+				ln.prefetched = false
+			}
+			return Victim{}
+		}
+		if !ln.valid {
+			victimIdx = i
+			oldest = 0
+			continue
+		}
+		if ln.lru < oldest {
+			oldest = ln.lru
+			victimIdx = i
+		}
+	}
+	ln := &set[victimIdx]
+	var v Victim
+	if ln.valid {
+		v = Victim{
+			Addr:       ln.tag << mem.LineShift, // tag holds the full line address
+			Dirty:      ln.dirty,
+			Valid:      true,
+			Prefetched: ln.prefetched,
+			DType:      ln.dtype,
+		}
+		if ln.dirty {
+			c.stats.Writebacks++
+		}
+		if ln.prefetched {
+			c.stats.PrefetchEvictedUnused[ln.dtype]++
+		}
+	}
+	c.tick++
+	*ln = line{
+		tag:        tag,
+		valid:      true,
+		prefetched: prefetch,
+		dtype:      dtype,
+		readyAt:    readyAt,
+		lru:        c.tick,
+	}
+	return v
+}
+
+// Invalidate removes addr if present (inclusive back-invalidation),
+// returning the removed line's state.
+func (c *Cache) Invalidate(addr mem.Addr) Victim {
+	set, tag := c.locate(addr)
+	for i := range set {
+		ln := &set[i]
+		if ln.valid && ln.tag == tag {
+			v := Victim{
+				Addr:       ln.tag << mem.LineShift,
+				Dirty:      ln.dirty,
+				Valid:      true,
+				Prefetched: ln.prefetched,
+				DType:      ln.dtype,
+			}
+			if ln.prefetched {
+				c.stats.PrefetchEvictedUnused[ln.dtype]++
+			}
+			ln.valid = false
+			return v
+		}
+	}
+	return Victim{}
+}
+
+// Promote bumps a resident line to MRU without touching demand stats
+// (used when a prefetch engine reads the line, e.g. the LLC-to-L2 copy).
+func (c *Cache) Promote(addr mem.Addr) {
+	set, tag := c.locate(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			c.tick++
+			set[i].lru = c.tick
+			return
+		}
+	}
+}
+
+// MarkDirty sets the dirty bit of a resident line (used when a writeback
+// from an upper level lands in this cache).
+func (c *Cache) MarkDirty(addr mem.Addr) {
+	set, tag := c.locate(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].dirty = true
+			return
+		}
+	}
+}
+
+// ResidentLines returns the number of valid lines (testing hook).
+func (c *Cache) ResidentLines() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,273 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"droplet/internal/mem"
+)
+
+func newTest(size, assoc int) *Cache {
+	return New(Config{Name: "t", SizeBytes: size, Assoc: assoc, LatencyTag: 1, LatencyData: 4})
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Name: "a", SizeBytes: 0, Assoc: 1},
+		{Name: "b", SizeBytes: 100, Assoc: 1},                // not line multiple
+		{Name: "c", SizeBytes: 4096, Assoc: 3},               // assoc doesn't divide
+		{Name: "d", SizeBytes: 12 * mem.LineSize, Assoc: 2},  // 6 sets, not pow2
+		{Name: "e", SizeBytes: 64 * mem.LineSize, Assoc: 0},  // zero assoc
+		{Name: "f", SizeBytes: -mem.LineSize * 64, Assoc: 4}, // negative
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v should be invalid", cfg)
+		}
+	}
+	good := Config{Name: "g", SizeBytes: 32 * 1024, Assoc: 8}
+	if err := good.Validate(); err != nil {
+		t.Errorf("config %+v: %v", good, err)
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := newTest(4096, 4)
+	if _, ok := c.Access(0x1000, mem.Structure, false, 0); ok {
+		t.Fatal("cold access should miss")
+	}
+	c.Fill(0x1000, mem.Structure, 10, false)
+	r, ok := c.Access(0x1000, mem.Structure, false, 5)
+	if !ok {
+		t.Fatal("filled line should hit")
+	}
+	if r != 10 {
+		t.Errorf("readyAt = %d, want 10 (in-flight fill)", r)
+	}
+	r, ok = c.Access(0x1000, mem.Structure, false, 50)
+	if !ok || r != 50 {
+		t.Errorf("settled hit readyAt = %d ok=%v, want 50 true", r, ok)
+	}
+	s := c.Stats()
+	if s.DemandMisses[mem.Structure] != 1 || s.DemandHits[mem.Structure] != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestSameSetEviction(t *testing.T) {
+	// 2-way, 2 sets: lines 0x0, 0x100, 0x200 with 128B set stride.
+	c := newTest(4*mem.LineSize, 2)
+	c.Fill(0x0000, mem.Property, 0, false)
+	c.Fill(0x0080, mem.Property, 0, false) // same set (2 sets → stride 128)
+	v := c.Fill(0x0100, mem.Property, 0, false)
+	if !v.Valid || v.Addr != 0x0000 {
+		t.Fatalf("victim = %+v, want eviction of 0x0", v)
+	}
+	if _, ok := c.Access(0x0000, mem.Property, false, 0); ok {
+		t.Error("evicted line should miss")
+	}
+	if _, ok := c.Access(0x0080, mem.Property, false, 0); !ok {
+		t.Error("resident line should hit")
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	c := newTest(4*mem.LineSize, 2) // 2 sets
+	c.Fill(0x0000, mem.Property, 0, false)
+	c.Fill(0x0080, mem.Property, 0, false)
+	// Touch 0x0000 so 0x0080 becomes LRU.
+	c.Access(0x0000, mem.Property, false, 1)
+	v := c.Fill(0x0100, mem.Property, 0, false)
+	if v.Addr != 0x0080 {
+		t.Errorf("victim = %#x, want LRU 0x80", v.Addr)
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	c := newTest(2*mem.LineSize, 2) // 1 set, 2 ways
+	c.Fill(0x0000, mem.Property, 0, false)
+	c.Access(0x0000, mem.Property, true, 0) // write → dirty
+	c.Fill(0x0040, mem.Property, 0, false)
+	v := c.Fill(0x0080, mem.Property, 0, false)
+	if !v.Dirty || v.Addr != 0x0000 {
+		t.Errorf("victim = %+v, want dirty 0x0", v)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", c.Stats().Writebacks)
+	}
+}
+
+func TestPrefetchAccuracyAccounting(t *testing.T) {
+	c := newTest(2*mem.LineSize, 2)
+	c.Fill(0x0000, mem.Structure, 0, true)
+	c.Fill(0x0040, mem.Structure, 0, true)
+	// One prefetched line gets used...
+	if _, ok := c.Access(0x0000, mem.Structure, false, 0); !ok {
+		t.Fatal("prefetched line should hit")
+	}
+	// ...the other is evicted untouched.
+	c.Fill(0x0080, mem.Structure, 0, false)
+	s := c.Stats()
+	if s.PrefetchHits[mem.Structure] != 1 {
+		t.Errorf("PrefetchHits = %d, want 1", s.PrefetchHits[mem.Structure])
+	}
+	if s.PrefetchEvictedUnused[mem.Structure] != 1 {
+		t.Errorf("PrefetchEvictedUnused = %d, want 1", s.PrefetchEvictedUnused[mem.Structure])
+	}
+	// A second access to the used line is a plain hit, not a prefetch hit.
+	c.Access(0x0000, mem.Structure, false, 0)
+	if s.PrefetchHits[mem.Structure] != 1 {
+		t.Errorf("PrefetchHits counted twice")
+	}
+}
+
+func TestFillMergesInFlight(t *testing.T) {
+	c := newTest(2*mem.LineSize, 2)
+	c.Fill(0x0000, mem.Property, 100, true)
+	// Demand refill with earlier readiness wins; prefetched flag clears.
+	c.Fill(0x0000, mem.Property, 50, false)
+	r, ok := c.Access(0x0000, mem.Property, false, 0)
+	if !ok || r != 50 {
+		t.Errorf("readyAt = %d ok=%v, want 50 true", r, ok)
+	}
+	if c.Stats().PrefetchHits[mem.Property] != 0 {
+		t.Error("merged demand fill should clear prefetched before any hit")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := newTest(2*mem.LineSize, 2)
+	c.Fill(0x0000, mem.Property, 0, false)
+	c.Access(0x0000, mem.Property, true, 0)
+	v := c.Invalidate(0x0000)
+	if !v.Valid || !v.Dirty {
+		t.Errorf("invalidate victim = %+v", v)
+	}
+	if _, ok := c.Access(0x0000, mem.Property, false, 0); ok {
+		t.Error("invalidated line should miss")
+	}
+	if v := c.Invalidate(0x4000); v.Valid {
+		t.Error("invalidating absent line should return invalid victim")
+	}
+}
+
+func TestLookupDoesNotDisturb(t *testing.T) {
+	c := newTest(2*mem.LineSize, 2) // 1 set
+	c.Fill(0x0000, mem.Property, 0, false)
+	c.Fill(0x0040, mem.Property, 0, false)
+	// 0x0000 is LRU; Lookup must not promote it.
+	if _, ok := c.Lookup(0x0000); !ok {
+		t.Fatal("Lookup should find resident line")
+	}
+	v := c.Fill(0x0080, mem.Property, 0, false)
+	if v.Addr != 0x0000 {
+		t.Errorf("victim = %#x; Lookup disturbed LRU", v.Addr)
+	}
+	accesses := c.Stats().TotalAccesses()
+	if accesses != 0 {
+		t.Errorf("Lookup counted as access: %d", accesses)
+	}
+}
+
+func TestMarkDirty(t *testing.T) {
+	c := newTest(2*mem.LineSize, 2)
+	c.Fill(0x0000, mem.Property, 0, false)
+	c.MarkDirty(0x0000)
+	c.Fill(0x0040, mem.Property, 0, false)
+	v := c.Fill(0x0080, mem.Property, 0, false)
+	if !v.Dirty {
+		t.Error("MarkDirty had no effect")
+	}
+	c.MarkDirty(0x9999_0000) // absent: no-op, no panic
+}
+
+func TestSubLineAddressesShareLine(t *testing.T) {
+	c := newTest(4096, 4)
+	c.Fill(0x1008, mem.Structure, 0, false)
+	if _, ok := c.Access(0x1030, mem.Structure, false, 0); !ok {
+		t.Error("same-line offset should hit")
+	}
+	if _, ok := c.Access(0x1040, mem.Structure, false, 0); ok {
+		t.Error("next line should miss")
+	}
+}
+
+// TestPropLRUMatchesReferenceModel cross-checks the cache against a naive
+// per-set LRU list model under random access/fill sequences.
+func TestPropLRUMatchesReferenceModel(t *testing.T) {
+	const (
+		ways = 4
+		sets = 8
+		size = ways * sets * mem.LineSize
+	)
+	f := func(ops []uint16) bool {
+		c := newTest(size, ways)
+		// reference: per set, slice of line addrs in MRU..LRU order
+		ref := make([][]mem.Addr, sets)
+		for _, op := range ops {
+			addr := mem.Addr(op%1024) << mem.LineShift
+			set := int((addr >> mem.LineShift) % sets)
+			write := op&0x8000 != 0
+
+			// reference behaviour
+			refHit := false
+			for i, a := range ref[set] {
+				if a == addr {
+					refHit = true
+					ref[set] = append([]mem.Addr{addr}, append(ref[set][:i:i], ref[set][i+1:]...)...)
+					break
+				}
+			}
+
+			_, hit := c.Access(addr, mem.Property, write, 0)
+			if hit != refHit {
+				return false
+			}
+			if !hit {
+				c.Fill(addr, mem.Property, 0, false)
+				ref[set] = append([]mem.Addr{addr}, ref[set]...)
+				if len(ref[set]) > ways {
+					ref[set] = ref[set][:ways]
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropResidentNeverExceedsCapacity(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := newTest(16*mem.LineSize, 4)
+		for _, a := range addrs {
+			c.Fill(mem.Addr(a)<<mem.LineShift, mem.Intermediate, 0, a%2 == 0)
+			if c.ResidentLines() > 16 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropStatsConservation(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := newTest(8*mem.LineSize, 2)
+		for _, a := range addrs {
+			addr := mem.Addr(a%64) << mem.LineShift
+			if _, ok := c.Access(addr, mem.Structure, false, 0); !ok {
+				c.Fill(addr, mem.Structure, 0, false)
+			}
+		}
+		s := c.Stats()
+		return s.TotalHits()+s.TotalMisses() == s.TotalAccesses() &&
+			s.TotalAccesses() == uint64(len(addrs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,246 @@
+// Package core implements the paper's contribution: DROPLET, the
+// data-aware decoupled prefetcher for graph workloads, together with the
+// five comparator configurations of Section VII-A. Each configuration is
+// expressed as a set of prefetch-engine attachments onto a
+// memsys.Hierarchy:
+//
+//	nopf           no prefetching
+//	ghb            per-core G/DC global history buffer at the L2
+//	vldp           per-core Variable Length Delta Prefetcher at the L2
+//	stream         per-core conventional FDP-style L2 streamer
+//	streamMPP1     conventional streamer + MC-side MPP1 (structure oracle)
+//	droplet        data-aware structure-only streamer + MC-side MPP
+//	               triggered by the MRB C-bit (the paper's design)
+//	monoDROPLETL1  data-aware streamer + MPP1 implemented monolithically
+//	               at the L1 (the Ainsworth-&-Jones-like arrangement)
+//
+// The design decisions encoded here map one-to-one onto Table IV:
+// prefetches land in the under-utilized L2, structure data streams with
+// the C-bit set, property addresses are computed from prefetched (not
+// demand) structure lines, and the MPP sits at the MC to break the
+// producer→consumer serialization.
+package core
+
+import (
+	"fmt"
+
+	"droplet/internal/dram"
+	"droplet/internal/memsys"
+	"droplet/internal/prefetch"
+	"droplet/internal/trace"
+)
+
+// PrefetcherKind selects one of the six evaluated configurations.
+type PrefetcherKind int
+
+// The evaluation configurations of Section VII-A, in Fig. 11 order.
+const (
+	NoPrefetch PrefetcherKind = iota
+	GHB
+	VLDP
+	Stream
+	StreamMPP1
+	DROPLET
+	MonoDROPLETL1
+	// DROPLETDemandTriggered is an ablation (not one of the paper's six
+	// configurations): DROPLET with the MPP triggered by structure
+	// *demand* refills instead of structure prefetch refills, quantifying
+	// Table IV's "when to prefetch" decision.
+	DROPLETDemandTriggered
+	// DROPLETAdaptive implements the extension Section VII-B suggests:
+	// the streamer toggles its data-awareness based on measured L2 hit
+	// rate, converting itself into the streamMPP1 arrangement on
+	// workloads (BFS, road meshes) where that wins.
+	DROPLETAdaptive
+)
+
+// AllKinds lists every configuration in presentation order (the paper's
+// six plus the demand-trigger ablation).
+var AllKinds = []PrefetcherKind{NoPrefetch, GHB, VLDP, Stream, StreamMPP1, DROPLET, MonoDROPLETL1, DROPLETDemandTriggered, DROPLETAdaptive}
+
+// String implements fmt.Stringer with the paper's configuration names.
+func (k PrefetcherKind) String() string {
+	switch k {
+	case NoPrefetch:
+		return "nopf"
+	case GHB:
+		return "ghb"
+	case VLDP:
+		return "vldp"
+	case Stream:
+		return "stream"
+	case StreamMPP1:
+		return "streamMPP1"
+	case DROPLET:
+		return "droplet"
+	case MonoDROPLETL1:
+		return "monoDROPLETL1"
+	case DROPLETDemandTriggered:
+		return "dropletDT"
+	case DROPLETAdaptive:
+		return "dropletA"
+	default:
+		return fmt.Sprintf("PrefetcherKind(%d)", int(k))
+	}
+}
+
+// ParseKind resolves a configuration name.
+func ParseKind(s string) (PrefetcherKind, error) {
+	for _, k := range AllKinds {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown prefetcher %q", s)
+}
+
+// Options tunes an attachment.
+type Options struct {
+	Streamer prefetch.StreamerConfig
+	Adaptive prefetch.AdaptiveConfig
+	GHB      prefetch.GHBConfig
+	VLDP     prefetch.VLDPConfig
+	MPP      prefetch.MPPConfig
+	// MonoTriggerDelay is the extra delay before the monolithic L1
+	// arrangement can scan a structure line: the refill must first climb
+	// LLC→L2→L1 (computed from the hierarchy's latencies by default).
+	MonoTriggerDelay int64
+}
+
+// DefaultOptions returns the Table V parameters.
+func DefaultOptions() Options {
+	return Options{
+		Streamer: prefetch.DefaultStreamerConfig(),
+		Adaptive: prefetch.DefaultAdaptiveConfig(),
+		GHB:      prefetch.DefaultGHBConfig(),
+		VLDP:     prefetch.DefaultVLDPConfig(),
+		MPP:      prefetch.DefaultMPPConfig(),
+	}
+}
+
+// Attachment holds the live prefetch engines wired to a hierarchy, for
+// statistics inspection after a run.
+type Attachment struct {
+	Kind      PrefetcherKind
+	Streamers []*prefetch.Streamer
+	Adaptives []*prefetch.AdaptiveStreamer
+	GHBs      []*prefetch.GHB
+	VLDPs     []*prefetch.VLDP
+	MPP       *prefetch.MPP
+}
+
+// Attach wires the prefetch engines of kind k onto h for the workload
+// described by layout. It must be called before the simulation starts.
+func Attach(k PrefetcherKind, h *memsys.Hierarchy, layout *trace.Layout, opt Options) (*Attachment, error) {
+	a := &Attachment{Kind: k}
+	n := h.NumCores()
+
+	props := make([]prefetch.PropArray, 0, len(layout.Properties))
+	for _, p := range layout.Properties {
+		props = append(props, prefetch.PropArray{
+			Base:  p.Base,
+			Elem:  layout.PropElem,
+			Count: p.Size / layout.PropElem,
+		})
+	}
+	scan := prefetch.LineScanner(layout.ScanStructureLine)
+
+	attachMPP := func(cfg prefetch.MPPConfig) {
+		a.MPP = prefetch.NewMPP(cfg, h, layout.AS, scan, props)
+		// Deferred delivery: the MPP reacts when the refill completes,
+		// not when the read is scheduled.
+		h.SubscribeRefill(func(r dram.Refill) { a.MPP.OnRefill(r) })
+	}
+
+	switch k {
+	case NoPrefetch:
+		// Nothing to attach.
+
+	case GHB:
+		for c := 0; c < n; c++ {
+			g := prefetch.NewGHB(opt.GHB)
+			a.GHBs = append(a.GHBs, g)
+			h.AttachL2Prefetcher(c, g)
+		}
+
+	case VLDP:
+		for c := 0; c < n; c++ {
+			v := prefetch.NewVLDP(opt.VLDP)
+			a.VLDPs = append(a.VLDPs, v)
+			h.AttachL2Prefetcher(c, v)
+		}
+
+	case Stream:
+		cfg := opt.Streamer
+		cfg.DataAware = false
+		cfg.FillL1 = false
+		for c := 0; c < n; c++ {
+			s := prefetch.NewStreamer(cfg)
+			a.Streamers = append(a.Streamers, s)
+			h.AttachL2Prefetcher(c, s)
+		}
+
+	case StreamMPP1:
+		cfg := opt.Streamer
+		cfg.DataAware = false
+		for c := 0; c < n; c++ {
+			s := prefetch.NewStreamer(cfg)
+			a.Streamers = append(a.Streamers, s)
+			h.AttachL2Prefetcher(c, s)
+		}
+		mcfg := opt.MPP
+		mcfg.Trigger = prefetch.TriggerStructureOracle
+		attachMPP(mcfg)
+
+	case DROPLET, DROPLETDemandTriggered:
+		cfg := opt.Streamer
+		cfg.DataAware = true
+		for c := 0; c < n; c++ {
+			s := prefetch.NewStreamer(cfg)
+			a.Streamers = append(a.Streamers, s)
+			h.AttachL2Prefetcher(c, s)
+		}
+		mcfg := opt.MPP
+		mcfg.Trigger = prefetch.TriggerCBit
+		if k == DROPLETDemandTriggered {
+			mcfg.Trigger = prefetch.TriggerStructureDemand
+		}
+		attachMPP(mcfg)
+
+	case MonoDROPLETL1:
+		cfg := opt.Streamer
+		cfg.DataAware = true
+		cfg.FillL1 = true
+		for c := 0; c < n; c++ {
+			s := prefetch.NewStreamer(cfg)
+			a.Streamers = append(a.Streamers, s)
+			h.AttachL2Prefetcher(c, s)
+		}
+		mcfg := opt.MPP
+		mcfg.Trigger = prefetch.TriggerStructureOracle
+		mcfg.FillL1 = true
+		mcfg.ExtraTriggerDelay = opt.MonoTriggerDelay
+		if mcfg.ExtraTriggerDelay == 0 {
+			mcfg.ExtraTriggerDelay = h.RefillClimbLatency()
+		}
+		attachMPP(mcfg)
+
+	case DROPLETAdaptive:
+		acfg := opt.Adaptive
+		acfg.Base = opt.Streamer
+		for c := 0; c < n; c++ {
+			ad := prefetch.NewAdaptiveStreamer(acfg)
+			a.Adaptives = append(a.Adaptives, ad)
+			h.AttachL2Prefetcher(c, ad)
+		}
+		// The streamer's mode varies, so the C-bit cannot be relied on:
+		// pair with the structure-oracle MPP (the streamMPP1 trigger).
+		mcfg := opt.MPP
+		mcfg.Trigger = prefetch.TriggerStructureOracle
+		attachMPP(mcfg)
+
+	default:
+		return nil, fmt.Errorf("core: unknown prefetcher kind %d", k)
+	}
+	return a, nil
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"droplet/internal/cache"
+	"droplet/internal/dram"
+	"droplet/internal/graph"
+	"droplet/internal/memsys"
+	"droplet/internal/prefetch"
+	"droplet/internal/trace"
+)
+
+func testHierarchy(t *testing.T) (*memsys.Hierarchy, *trace.Layout) {
+	t.Helper()
+	g, err := graph.Kron(8, 8, graph.GenOptions{Seed: 1, Symmetrize: true})
+	if err != nil {
+		t.Fatalf("Kron: %v", err)
+	}
+	l := trace.NewLayout(g)
+	l.AddProperty("prop", g.NumVertices())
+	h, err := memsys.New(memsys.Config{
+		Cores: 4,
+		L1:    cache.Config{Name: "L1", SizeBytes: 1 << 10, Assoc: 2, LatencyTag: 1, LatencyData: 4},
+		L2:    cache.Config{Name: "L2", SizeBytes: 4 << 10, Assoc: 4, LatencyTag: 3, LatencyData: 8},
+		LLC:   cache.Config{Name: "L3", SizeBytes: 16 << 10, Assoc: 8, LatencyTag: 10, LatencyData: 30},
+		DRAM:  dram.DefaultConfig(),
+	}, l.AS)
+	if err != nil {
+		t.Fatalf("memsys.New: %v", err)
+	}
+	return h, l
+}
+
+func TestKindNames(t *testing.T) {
+	want := map[PrefetcherKind]string{
+		NoPrefetch:             "nopf",
+		GHB:                    "ghb",
+		VLDP:                   "vldp",
+		Stream:                 "stream",
+		StreamMPP1:             "streamMPP1",
+		DROPLET:                "droplet",
+		MonoDROPLETL1:          "monoDROPLETL1",
+		DROPLETDemandTriggered: "dropletDT",
+		DROPLETAdaptive:        "dropletA",
+	}
+	for k, name := range want {
+		if k.String() != name {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), name)
+		}
+	}
+	if len(AllKinds) != len(want) {
+		t.Errorf("AllKinds = %d entries, want %d", len(AllKinds), len(want))
+	}
+	if PrefetcherKind(99).String() == "" {
+		t.Error("unknown kind should still format")
+	}
+}
+
+func TestAttachWiring(t *testing.T) {
+	cases := []struct {
+		kind          PrefetcherKind
+		wantStreamers int
+		wantGHBs      int
+		wantVLDPs     int
+		wantMPP       bool
+	}{
+		{NoPrefetch, 0, 0, 0, false},
+		{GHB, 0, 4, 0, false},
+		{VLDP, 0, 0, 4, false},
+		{Stream, 4, 0, 0, false},
+		{StreamMPP1, 4, 0, 0, true},
+		{DROPLET, 4, 0, 0, true},
+		{MonoDROPLETL1, 4, 0, 0, true},
+		{DROPLETDemandTriggered, 4, 0, 0, true},
+		{DROPLETAdaptive, 0, 0, 0, true},
+	}
+	for _, tc := range cases {
+		h, l := testHierarchy(t)
+		a, err := Attach(tc.kind, h, l, DefaultOptions())
+		if err != nil {
+			t.Fatalf("%v: %v", tc.kind, err)
+		}
+		if a.Kind != tc.kind {
+			t.Errorf("%v: Kind = %v", tc.kind, a.Kind)
+		}
+		if len(a.Streamers) != tc.wantStreamers {
+			t.Errorf("%v: streamers = %d, want %d", tc.kind, len(a.Streamers), tc.wantStreamers)
+		}
+		if len(a.GHBs) != tc.wantGHBs {
+			t.Errorf("%v: GHBs = %d, want %d", tc.kind, len(a.GHBs), tc.wantGHBs)
+		}
+		if len(a.VLDPs) != tc.wantVLDPs {
+			t.Errorf("%v: VLDPs = %d, want %d", tc.kind, len(a.VLDPs), tc.wantVLDPs)
+		}
+		if (a.MPP != nil) != tc.wantMPP {
+			t.Errorf("%v: MPP presence = %v, want %v", tc.kind, a.MPP != nil, tc.wantMPP)
+		}
+	}
+}
+
+func TestAttachDropletTriggersOnCBitOnly(t *testing.T) {
+	h, l := testHierarchy(t)
+	a, err := Attach(DROPLET, h, l, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MPP.Triggered(dram.Refill{Prefetch: true, CBit: false, DType: 1}) {
+		t.Error("droplet MPP should ignore non-CBit refills")
+	}
+	if !a.MPP.Triggered(dram.Refill{Prefetch: true, CBit: true, DType: 1}) {
+		t.Error("droplet MPP should trigger on CBit refills")
+	}
+}
+
+func TestAttachStreamerFlavors(t *testing.T) {
+	h, l := testHierarchy(t)
+	a, _ := Attach(DROPLET, h, l, DefaultOptions())
+	for _, s := range a.Streamers {
+		if s.Name() != "dastream" {
+			t.Errorf("droplet streamer = %q, want data-aware", s.Name())
+		}
+	}
+	h2, l2 := testHierarchy(t)
+	a2, _ := Attach(StreamMPP1, h2, l2, DefaultOptions())
+	for _, s := range a2.Streamers {
+		if s.Name() != "stream" {
+			t.Errorf("streamMPP1 streamer = %q, want conventional", s.Name())
+		}
+	}
+}
+
+func TestAttachMonoDelayDefaultsToClimbLatency(t *testing.T) {
+	h, l := testHierarchy(t)
+	opt := DefaultOptions()
+	// A probe prefetcher request path isn't visible here, but the config
+	// plumbed into the MPP is: reuse the streamer FillL1 flag as witness.
+	a, err := Attach(MonoDROPLETL1, h, l, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range a.Streamers {
+		reqs := s.OnAccess(prefetch.AccessInfo{VAddr: l.Structure.Base, StructureBit: true})
+		_ = reqs
+	}
+	// Indirect check: RefillClimbLatency must be positive so mono pays a
+	// trigger handicap.
+	if h.RefillClimbLatency() <= 0 {
+		t.Error("climb latency not positive")
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, k := range AllKinds {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%v) = %v, %v", k, got, err)
+		}
+	}
+	if _, err := ParseKind(""); err == nil {
+		t.Error("empty kind parsed")
+	}
+}
+
+func TestDemandTriggeredAblation(t *testing.T) {
+	h, l := testHierarchy(t)
+	a, err := Attach(DROPLETDemandTriggered, h, l, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MPP.Triggered(dram.Refill{Prefetch: true, CBit: true, DType: 1}) {
+		t.Error("ablation MPP should ignore prefetch refills")
+	}
+	if !a.MPP.Triggered(dram.Refill{Prefetch: false, DType: 1}) {
+		t.Error("ablation MPP should trigger on structure demand refills")
+	}
+}
+
+func TestOverheadAccounting(t *testing.T) {
+	o := ComputeOverhead(prefetch.DefaultMPPConfig(), 256, 4)
+	// Section V-D's structural numbers.
+	if o.PageTableExtraBytes != 64 {
+		t.Errorf("page table extra = %d B, want 64", o.PageTableExtraBytes)
+	}
+	if pct := o.PageTableOverheadPct(); pct < 1.5 || pct > 1.6 {
+		t.Errorf("page table overhead = %.2f%%, want ~1.56%%", pct)
+	}
+	if o.L2QueueExtraBytes != 4 {
+		t.Errorf("L2 queue extra = %d B, want 4", o.L2QueueExtraBytes)
+	}
+	if o.MRBCoreIDBytes != 64 {
+		t.Errorf("MRB core-ID = %d B, want 64", o.MRBCoreIDBytes)
+	}
+	// Paper: VAB+PAB+MTLB+regs ≈ 7.7 KB.
+	kb := float64(o.MPPTotalStorageBytes) / 1024
+	if kb < 6.5 || kb > 9 {
+		t.Errorf("MPP storage = %.1f KB, want ~7.7 KB", kb)
+	}
+	if out := o.Format(); !strings.Contains(out, "MPP storage") {
+		t.Error("Format incomplete")
+	}
+}

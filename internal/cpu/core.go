@@ -1,0 +1,322 @@
+// Package cpu implements the out-of-order core timing model: an
+// interval-style simulation of a ROB-windowed, width-limited pipeline in
+// which loads issue as soon as (a) they have dispatched into the window,
+// (b) their producer load has completed, and (c) a load-queue slot is
+// free. This is exactly the machinery behind the paper's core-side
+// observations: a larger ROB only helps when dependency chains don't
+// serialize the loads (Observations #1 and #2), and retire-side stalls
+// attribute to the hierarchy level that serviced the blocking load
+// (Fig. 1's cycle stack).
+package cpu
+
+import (
+	"fmt"
+
+	"droplet/internal/mem"
+	"droplet/internal/memsys"
+	"droplet/internal/trace"
+)
+
+// Config describes one core (Table I defaults via DefaultConfig).
+type Config struct {
+	ROBSize       int
+	DispatchWidth int
+	LoadQueue     int
+	StoreQueue    int
+}
+
+// DefaultConfig returns the Table I core: 128-entry ROB, 4-wide,
+// 48-entry load queue, 32-entry store queue.
+func DefaultConfig() Config {
+	return Config{ROBSize: 128, DispatchWidth: 4, LoadQueue: 48, StoreQueue: 32}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.ROBSize < 1 || c.DispatchWidth < 1 || c.LoadQueue < 1 || c.StoreQueue < 1 {
+		return fmt.Errorf("cpu: non-positive config %+v", c)
+	}
+	return nil
+}
+
+// MemPort is the core's view of the memory hierarchy.
+type MemPort interface {
+	Access(core int, vaddr mem.Addr, dtype mem.DataType, write bool, now int64) (int64, memsys.Level)
+}
+
+// Stats aggregates one core's execution counters.
+type Stats struct {
+	Instructions int64
+	Loads        int64
+	Stores       int64
+	// Cycles is the retirement time of the last instruction.
+	Cycles int64
+	// StallByLevel attributes retire-stall cycles to the hierarchy level
+	// that serviced the blocking load.
+	StallByLevel [memsys.NumLevels]int64
+	// LoadsByLevel counts demand loads per servicing level.
+	LoadsByLevel [memsys.NumLevels]int64
+	// DRAMLatencySum is the summed in-flight time of DRAM-serviced loads;
+	// divided by Cycles it is the average outstanding DRAM requests
+	// (Little's-law MLP).
+	DRAMLatencySum int64
+	// LQFullStalls counts dispatches delayed by a full load queue.
+	LQFullStalls int64
+	// ROBStalls counts dispatches delayed by the ROB window.
+	ROBStalls int64
+}
+
+// BaseCycles returns cycles not attributed to memory stalls.
+func (s *Stats) BaseCycles() int64 {
+	b := s.Cycles
+	for _, v := range s.StallByLevel {
+		b -= v
+	}
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// MLP returns the average number of outstanding DRAM loads.
+func (s *Stats) MLP() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.DRAMLatencySum) / float64(s.Cycles)
+}
+
+// robEntry remembers where an instruction retired, for the ROB-window
+// dispatch constraint.
+type robEntry struct {
+	instr  int64
+	retire int64
+}
+
+// Core simulates one core consuming its event stream.
+type Core struct {
+	id     int
+	cfg    Config
+	port   MemPort
+	stream []trace.Event
+	pos    int
+
+	slots      int64 // dispatch slots consumed (cycles × width)
+	lastRetire int64
+	instr      int64
+
+	completeAt []int64 // completion time per event index (dep targets)
+	// window holds the events inside the current ROB window in program
+	// order (instr ascending); head indexes its logical front.
+	window []robEntry
+	head   int
+	loadQ  []int64 // outstanding load completion times
+	storeQ []int64 // outstanding store completion times
+
+	stats Stats
+}
+
+// NewCore builds a core over stream; invalid configs panic.
+func NewCore(id int, cfg Config, port MemPort, stream []trace.Event) *Core {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Core{
+		id:         id,
+		cfg:        cfg,
+		port:       port,
+		stream:     stream,
+		completeAt: make([]int64, len(stream)),
+	}
+}
+
+// Stats returns the live counters.
+func (c *Core) Stats() *Stats { return &c.stats }
+
+// Clock returns the core's current local time in cycles.
+func (c *Core) Clock() int64 {
+	d := c.dispatchCycle()
+	if c.lastRetire > d {
+		return c.lastRetire
+	}
+	return d
+}
+
+// Done reports whether the stream is exhausted.
+func (c *Core) Done() bool { return c.pos >= len(c.stream) }
+
+// AtBarrier reports whether the next event is a barrier.
+func (c *Core) AtBarrier() bool {
+	return !c.Done() && c.stream[c.pos].Kind == trace.KindBarrier
+}
+
+// PassBarrier consumes a pending barrier event, setting the core's clocks
+// to at least t (the barrier release time decided by the machine).
+func (c *Core) PassBarrier(t int64) {
+	if !c.AtBarrier() {
+		panic("cpu: PassBarrier without pending barrier")
+	}
+	ev := c.stream[c.pos]
+	c.dispatchCompute(int64(ev.Comp))
+	c.pos++
+	if t*int64(c.cfg.DispatchWidth) > c.slots {
+		c.slots = t * int64(c.cfg.DispatchWidth)
+	}
+	if t > c.lastRetire {
+		c.lastRetire = t
+	}
+	if c.lastRetire > c.stats.Cycles {
+		c.stats.Cycles = c.lastRetire
+	}
+}
+
+func (c *Core) dispatchCycle() int64 {
+	return c.slots / int64(c.cfg.DispatchWidth)
+}
+
+// dispatchCompute advances the dispatch clock through n compute
+// instructions; they retire within the pipeline without memory stalls.
+func (c *Core) dispatchCompute(n int64) {
+	c.slots += n
+	c.instr += n
+	c.stats.Instructions += n
+	// Compute retirement trails dispatch by one cycle; it only matters
+	// when it outruns the last memory retire.
+	if r := c.dispatchCycle() + 1; r > c.lastRetire {
+		c.lastRetire = r
+	}
+}
+
+// Step processes the next event. It must not be called when Done or
+// AtBarrier.
+func (c *Core) Step() {
+	ev := c.stream[c.pos]
+	idx := c.pos
+	c.pos++
+	if ev.Kind == trace.KindBarrier {
+		panic("cpu: Step on barrier event; use PassBarrier")
+	}
+
+	c.dispatchCompute(int64(ev.Comp))
+
+	// Dispatch the memory instruction itself.
+	c.slots++
+	c.instr++
+	c.stats.Instructions++
+	dispatch := c.dispatchCycle()
+
+	// ROB window: this instruction may only dispatch once every
+	// instruction ROBSize or more older has retired. Retirement is
+	// in-order, so the newest such event carries the binding time.
+	for c.head < len(c.window) && c.window[c.head].instr <= c.instr-int64(c.cfg.ROBSize) {
+		if r := c.window[c.head].retire; r > dispatch {
+			dispatch = r
+			c.slots = dispatch * int64(c.cfg.DispatchWidth)
+			c.stats.ROBStalls++
+		}
+		c.head++
+	}
+	if c.head > 1024 && c.head*2 > len(c.window) {
+		c.window = append(c.window[:0], c.window[c.head:]...)
+		c.head = 0
+	}
+
+	switch ev.Kind {
+	case trace.KindLoad:
+		c.stats.Loads++
+		issue := dispatch
+		// Producer-consumer dependency: the address needs the producer
+		// load's value (Observation #2's serialization).
+		if ev.Dep >= 0 {
+			if dep := c.completeAt[ev.Dep]; dep > issue {
+				issue = dep
+			}
+		}
+		// Load-queue capacity bounds MLP.
+		c.pruneQueue(&c.loadQ, issue)
+		if len(c.loadQ) >= c.cfg.LoadQueue {
+			oldest := minOf(c.loadQ)
+			if oldest > issue {
+				issue = oldest
+				c.stats.LQFullStalls++
+			}
+			c.pruneQueue(&c.loadQ, issue)
+		}
+		complete, lvl := c.port.Access(c.id, ev.Addr, ev.DType, false, issue)
+		c.completeAt[idx] = complete
+		c.loadQ = append(c.loadQ, complete)
+		c.stats.LoadsByLevel[lvl]++
+		if lvl == memsys.LevelDRAM {
+			c.stats.DRAMLatencySum += complete - issue
+		}
+
+		// In-order retirement: attribute the stall to the servicing level.
+		floor := max64(c.lastRetire, dispatch+1)
+		retire := max64(complete, floor)
+		if stall := retire - floor; stall > 0 {
+			c.stats.StallByLevel[lvl] += stall
+		}
+		c.lastRetire = retire
+		c.recordROB(retire)
+
+	case trace.KindStore:
+		c.stats.Stores++
+		issue := dispatch
+		if ev.Dep >= 0 {
+			if dep := c.completeAt[ev.Dep]; dep > issue {
+				issue = dep
+			}
+		}
+		// Store-queue capacity delays dispatch when full.
+		c.pruneQueue(&c.storeQ, issue)
+		if len(c.storeQ) >= c.cfg.StoreQueue {
+			oldest := minOf(c.storeQ)
+			if oldest > issue {
+				issue = oldest
+			}
+			c.pruneQueue(&c.storeQ, issue)
+		}
+		complete, _ := c.port.Access(c.id, ev.Addr, ev.DType, true, issue)
+		c.completeAt[idx] = complete
+		c.storeQ = append(c.storeQ, complete)
+		// Stores retire from the store buffer without stalling the core.
+		retire := max64(c.lastRetire, dispatch+1)
+		c.lastRetire = retire
+		c.recordROB(retire)
+	}
+
+	if c.lastRetire > c.stats.Cycles {
+		c.stats.Cycles = c.lastRetire
+	}
+}
+
+func (c *Core) recordROB(retire int64) {
+	c.window = append(c.window, robEntry{instr: c.instr, retire: retire})
+}
+
+func (c *Core) pruneQueue(q *[]int64, now int64) {
+	live := (*q)[:0]
+	for _, t := range *q {
+		if t > now {
+			live = append(live, t)
+		}
+	}
+	*q = live
+}
+
+func minOf(xs []int64) int64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

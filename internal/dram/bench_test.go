@@ -1,0 +1,34 @@
+package dram
+
+import (
+	"testing"
+
+	"droplet/internal/mem"
+)
+
+func BenchmarkMCDemandRead(b *testing.B) {
+	mc := NewMemoryController(DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mc.Access(Request{Addr: mem.Addr(i) << mem.LineShift, DType: mem.Structure}, int64(i*10))
+	}
+}
+
+func BenchmarkMCPrefetchRead(b *testing.B) {
+	mc := NewMemoryController(DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mc.Access(Request{Addr: mem.Addr(i) << mem.LineShift, Prefetch: true, CBit: true, DType: mem.Structure}, int64(i*10))
+	}
+}
+
+func BenchmarkMCEstimateDemand(b *testing.B) {
+	mc := NewMemoryController(DefaultConfig())
+	for i := 0; i < 64; i++ {
+		mc.Access(Request{Addr: mem.Addr(i) << 16}, int64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mc.EstimateDemand(mem.Addr(i)<<mem.LineShift, int64(i))
+	}
+}

@@ -1,0 +1,771 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"droplet/internal/core"
+	"droplet/internal/mem"
+	"droplet/internal/memsys"
+	"droplet/internal/sim"
+	"droplet/internal/workload"
+)
+
+// fig11Kinds are the six evaluated prefetcher configurations of Fig. 11.
+var fig11Kinds = []core.PrefetcherKind{
+	core.GHB, core.VLDP, core.Stream, core.StreamMPP1, core.DROPLET, core.MonoDROPLETL1,
+}
+
+// fig12Kinds are the configurations the zoom-in figures (12, 13, 14, 15)
+// compare.
+var fig12Kinds = []core.PrefetcherKind{
+	core.NoPrefetch, core.Stream, core.StreamMPP1, core.DROPLET,
+}
+
+// ---------------------------------------------------------------- Fig. 1
+
+// Fig1 is the cycle stack of PageRank on the orkut proxy.
+type Fig1 struct {
+	Bench   workload.Benchmark
+	Base    float64
+	ByLevel [memsys.NumLevels]float64
+}
+
+// RunFig1 reproduces Fig. 1 (paper: ~45% DRAM-bound stalls, ~15% base).
+func RunFig1(s *Suite) (*Fig1, error) {
+	b := workload.Benchmark{Algo: workload.PR, Dataset: "orkut"}
+	r, err := s.Baseline(b)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fig1{Bench: b}
+	f.Base, f.ByLevel = r.CycleStack()
+	return f, nil
+}
+
+// Format renders the figure as text.
+func (f *Fig1) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig 1: cycle stack of %s\n", f.Bench)
+	fmt.Fprintf(&sb, "  base  %5.1f%%\n", f.Base*100)
+	for l := 0; l < memsys.NumLevels; l++ {
+		fmt.Fprintf(&sb, "  %-5v %5.1f%%\n", memsys.Level(l), f.ByLevel[l]*100)
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------- Fig. 3
+
+// Fig3Row is one benchmark's 4×-ROB outcome.
+type Fig3Row struct {
+	Bench        workload.Benchmark
+	BWUtilBase   float64
+	BWUtilBigROB float64
+	Speedup      float64
+}
+
+// Fig3 sweeps the instruction window (Observation #1).
+type Fig3 struct {
+	Rows []Fig3Row
+	// MeanBWDelta and MeanSpeedup are the paper's headline averages
+	// (+2.7% bandwidth, +1.44% speedup).
+	MeanBWDelta float64
+	MeanSpeedup float64
+}
+
+// rob4x is the 4× instruction window variant (window resources scale
+// together, so the ROB is the only possible bottleneck left).
+var rob4x = Variant{Name: "rob4x", Mutate: func(c *sim.Config) {
+	c.CPU.ROBSize *= 4
+	c.CPU.LoadQueue *= 4
+	c.CPU.StoreQueue *= 4
+}}
+
+// RunFig3 reproduces Fig. 3 over all benchmarks.
+func RunFig3(s *Suite) (*Fig3, error) {
+	f := &Fig3{}
+	var bwSum, spSum float64
+	for _, b := range s.benchmarks() {
+		base, err := s.Baseline(b)
+		if err != nil {
+			return nil, err
+		}
+		big, err := s.Result(b, core.NoPrefetch, rob4x)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig3Row{
+			Bench:        b,
+			BWUtilBase:   base.BandwidthUtilization(),
+			BWUtilBigROB: big.BandwidthUtilization(),
+			Speedup:      big.Speedup(base),
+		}
+		f.Rows = append(f.Rows, row)
+		bwSum += row.BWUtilBigROB - row.BWUtilBase
+		spSum += row.Speedup
+	}
+	n := float64(len(f.Rows))
+	f.MeanBWDelta = bwSum / n
+	f.MeanSpeedup = spSum / n
+	return f, nil
+}
+
+// Format renders the figure as text.
+func (f *Fig3) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Fig 3: 4x instruction window (ROB/LQ/SQ x4)\n")
+	fmt.Fprintf(&sb, "  %-18s %10s %10s %9s\n", "benchmark", "BW(base)", "BW(4xROB)", "speedup")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&sb, "  %-18s %9.2f%% %9.2f%% %9.3f\n",
+			r.Bench.String(), r.BWUtilBase*100, r.BWUtilBigROB*100, r.Speedup)
+	}
+	fmt.Fprintf(&sb, "  mean bandwidth delta %+.2f%%, mean speedup %.3fx\n",
+		f.MeanBWDelta*100, f.MeanSpeedup)
+	return sb.String()
+}
+
+// ---------------------------------------------------------------- Fig. 4
+
+// LLCMultipliers are the Fig. 4a capacity points (×1 = baseline ≙ 8MB in
+// the paper).
+var LLCMultipliers = []int{1, 2, 4, 8}
+
+func llcVariant(mult int) Variant {
+	if mult == 1 {
+		return Variant{}
+	}
+	return Variant{
+		Name: fmt.Sprintf("llc%dx", mult),
+		Mutate: func(c *sim.Config) {
+			c.LLC.SizeBytes *= mult
+			// Larger arrays are slower (the paper extracts per-capacity
+			// timings from CACTI; Fig. 4a's caption lists them): roughly
+			// +6 data cycles and +2 tag cycles per doubling.
+			for m := mult; m > 1; m /= 2 {
+				c.LLC.LatencyData += 6
+				c.LLC.LatencyTag += 2
+			}
+		},
+	}
+}
+
+// Fig4aPoint is one LLC size's aggregate outcome.
+type Fig4aPoint struct {
+	Multiplier  int
+	MeanMPKI    float64
+	GeoSpeedup  float64 // vs the ×1 baseline
+	MaxSpeedup  float64
+	OffChipByTy [mem.NumDataTypes]float64 // mean DRAM-serviced fraction (Fig. 4c)
+}
+
+// Fig4a sweeps the shared LLC (Observations #4/#5; also provides Fig. 4c).
+type Fig4a struct {
+	Points []Fig4aPoint
+}
+
+// RunFig4a reproduces Fig. 4a/4c over all benchmarks.
+func RunFig4a(s *Suite) (*Fig4a, error) {
+	f := &Fig4a{}
+	benches := s.benchmarks()
+	n := float64(len(benches))
+	// Iterate benchmark-major so each trace is generated once.
+	type acc struct {
+		mpki     float64
+		speedups []float64
+		max      float64
+		off      [mem.NumDataTypes]float64
+	}
+	accs := make([]acc, len(LLCMultipliers))
+	for _, b := range benches {
+		base, err := s.Baseline(b)
+		if err != nil {
+			return nil, err
+		}
+		for i, mult := range LLCMultipliers {
+			r, err := s.Result(b, core.NoPrefetch, llcVariant(mult))
+			if err != nil {
+				return nil, err
+			}
+			accs[i].mpki += r.LLCMPKI()
+			sp := r.Speedup(base)
+			accs[i].speedups = append(accs[i].speedups, sp)
+			if sp > accs[i].max {
+				accs[i].max = sp
+			}
+			o := r.OffChipFractionByType()
+			for dt := range accs[i].off {
+				accs[i].off[dt] += o[dt]
+			}
+		}
+	}
+	for i, mult := range LLCMultipliers {
+		point := Fig4aPoint{
+			Multiplier: mult,
+			MeanMPKI:   accs[i].mpki / n,
+			GeoSpeedup: geomean(accs[i].speedups),
+			MaxSpeedup: accs[i].max,
+		}
+		for dt := range point.OffChipByTy {
+			point.OffChipByTy[dt] = accs[i].off[dt] / n
+		}
+		f.Points = append(f.Points, point)
+	}
+	return f, nil
+}
+
+// Format renders Fig. 4a as text.
+func (f *Fig4a) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Fig 4a: shared LLC capacity sweep (no prefetch)\n")
+	fmt.Fprintf(&sb, "  %-6s %10s %10s %10s\n", "LLC", "mean MPKI", "geo-spdup", "max spdup")
+	for _, p := range f.Points {
+		fmt.Fprintf(&sb, "  %5dx %10.2f %10.3f %10.3f\n", p.Multiplier, p.MeanMPKI, p.GeoSpeedup, p.MaxSpeedup)
+	}
+	return sb.String()
+}
+
+// FormatFig4c renders the Fig. 4c view of the same sweep.
+func (f *Fig4a) FormatFig4c() string {
+	var sb strings.Builder
+	sb.WriteString("Fig 4c: off-chip (DRAM-serviced) fraction by data type vs LLC size\n")
+	fmt.Fprintf(&sb, "  %-6s %14s %14s %14s\n", "LLC", "intermediate", "structure", "property")
+	for _, p := range f.Points {
+		fmt.Fprintf(&sb, "  %5dx %13.2f%% %13.2f%% %13.2f%%\n", p.Multiplier,
+			p.OffChipByTy[mem.Intermediate]*100,
+			p.OffChipByTy[mem.Structure]*100,
+			p.OffChipByTy[mem.Property]*100)
+	}
+	return sb.String()
+}
+
+// Fig4bPoint is one private-L2 configuration's aggregate outcome.
+type Fig4bPoint struct {
+	Name       string
+	MeanL2Hit  float64
+	GeoSpeedup float64 // vs the baseline L2
+}
+
+// Fig4b sweeps the private L2 (Observation #4).
+type Fig4b struct {
+	Points []Fig4bPoint
+}
+
+// RunFig4b reproduces Fig. 4b over all benchmarks.
+func RunFig4b(s *Suite) (*Fig4b, error) {
+	variants := []Variant{
+		{Name: "noL2", Mutate: func(c *sim.Config) { c.NoL2 = true }},
+		{}, // baseline
+		{Name: "l2x2", Mutate: func(c *sim.Config) { c.L2.SizeBytes *= 2 }},
+		{Name: "l2assoc4x", Mutate: func(c *sim.Config) { c.L2.Assoc *= 4 }},
+	}
+	names := []string{"no L2", "baseline", "2x capacity", "4x assoc"}
+
+	f := &Fig4b{}
+	benches := s.benchmarks()
+	hitSums := make([]float64, len(variants))
+	speedups := make([][]float64, len(variants))
+	// Iterate benchmark-major so each trace is generated once.
+	for _, b := range benches {
+		base, err := s.Baseline(b)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range variants {
+			r, err := s.Result(b, core.NoPrefetch, v)
+			if err != nil {
+				return nil, err
+			}
+			hitSums[i] += r.L2HitRate()
+			speedups[i] = append(speedups[i], r.Speedup(base))
+		}
+	}
+	for i := range variants {
+		f.Points = append(f.Points, Fig4bPoint{
+			Name:       names[i],
+			MeanL2Hit:  hitSums[i] / float64(len(benches)),
+			GeoSpeedup: geomean(speedups[i]),
+		})
+	}
+	return f, nil
+}
+
+// Format renders Fig. 4b as text.
+func (f *Fig4b) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Fig 4b: private L2 configuration sweep (no prefetch)\n")
+	fmt.Fprintf(&sb, "  %-12s %12s %12s\n", "config", "mean L2 hit", "geo-speedup")
+	for _, p := range f.Points {
+		fmt.Fprintf(&sb, "  %-12s %11.1f%% %12.3f\n", p.Name, p.MeanL2Hit*100, p.GeoSpeedup)
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------- Fig. 5/6
+
+// Fig5Row is one benchmark's dependency-chain profile.
+type Fig5Row struct {
+	Bench       workload.Benchmark
+	InChainFrac float64
+	AvgChainLen float64
+}
+
+// Fig5 is the load-load dependency analysis (Observation #2).
+type Fig5 struct {
+	Rows            []Fig5Row
+	MeanInChainFrac float64
+	MeanChainLen    float64
+}
+
+// RunFig5 reproduces Fig. 5 (paper: 43.2% of loads in chains, mean
+// length 2.5) with the baseline 128-entry ROB window.
+func RunFig5(s *Suite) (*Fig5, error) {
+	f := &Fig5{}
+	rob := Machine(s.Scale).CPU.ROBSize
+	for _, b := range s.benchmarks() {
+		st, err := s.Analyze(b, rob)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig5Row{Bench: b, InChainFrac: st.InChainFraction(), AvgChainLen: st.AvgChainLen}
+		f.Rows = append(f.Rows, row)
+		f.MeanInChainFrac += row.InChainFrac
+		f.MeanChainLen += row.AvgChainLen
+	}
+	n := float64(len(f.Rows))
+	f.MeanInChainFrac /= n
+	f.MeanChainLen /= n
+	return f, nil
+}
+
+// Format renders Fig. 5 as text.
+func (f *Fig5) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Fig 5: load-load dependency chains in the ROB\n")
+	fmt.Fprintf(&sb, "  %-18s %10s %10s\n", "benchmark", "in-chain", "chain-len")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&sb, "  %-18s %9.1f%% %10.2f\n", r.Bench.String(), r.InChainFrac*100, r.AvgChainLen)
+	}
+	fmt.Fprintf(&sb, "  mean: %.1f%% of loads in chains, avg length %.2f\n",
+		f.MeanInChainFrac*100, f.MeanChainLen)
+	return sb.String()
+}
+
+// Fig6 is the producer/consumer breakdown by data type (Observation #3).
+type Fig6 struct {
+	// ProducerFrac / ConsumerFrac index by data type: the mean fraction
+	// of that type's loads acting in each role.
+	ProducerFrac [mem.NumDataTypes]float64
+	ConsumerFrac [mem.NumDataTypes]float64
+}
+
+// RunFig6 reproduces Fig. 6 (paper: property 53.6% consumer / 5.9%
+// producer; structure 41.4% producer / 6% consumer).
+func RunFig6(s *Suite) (*Fig6, error) {
+	f := &Fig6{}
+	rob := Machine(s.Scale).CPU.ROBSize
+	benches := s.benchmarks()
+	for _, b := range benches {
+		st, err := s.Analyze(b, rob)
+		if err != nil {
+			return nil, err
+		}
+		for dt := 0; dt < mem.NumDataTypes; dt++ {
+			f.ProducerFrac[dt] += st.ProducerFraction(mem.DataType(dt))
+			f.ConsumerFrac[dt] += st.ConsumerFraction(mem.DataType(dt))
+		}
+	}
+	n := float64(len(benches))
+	for dt := 0; dt < mem.NumDataTypes; dt++ {
+		f.ProducerFrac[dt] /= n
+		f.ConsumerFrac[dt] /= n
+	}
+	return f, nil
+}
+
+// Format renders Fig. 6 as text.
+func (f *Fig6) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Fig 6: producer/consumer loads by data type (mean)\n")
+	fmt.Fprintf(&sb, "  %-14s %10s %10s\n", "type", "producer", "consumer")
+	for dt := 0; dt < mem.NumDataTypes; dt++ {
+		fmt.Fprintf(&sb, "  %-14v %9.1f%% %9.1f%%\n", mem.DataType(dt),
+			f.ProducerFrac[dt]*100, f.ConsumerFrac[dt]*100)
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------- Fig. 7
+
+// Fig7Row is one benchmark's per-type hierarchy usage.
+type Fig7Row struct {
+	Bench    workload.Benchmark
+	Serviced [mem.NumDataTypes][memsys.NumLevels]float64
+}
+
+// Fig7 is the memory-hierarchy usage breakdown by data type.
+type Fig7 struct {
+	Rows []Fig7Row
+	Mean [mem.NumDataTypes][memsys.NumLevels]float64
+}
+
+// RunFig7 reproduces Fig. 7 (Observation #6: structure is serviced by L1
+// and DRAM; property by L1, LLC and DRAM; intermediate stays on-chip).
+func RunFig7(s *Suite) (*Fig7, error) {
+	f := &Fig7{}
+	benches := s.benchmarks()
+	for _, b := range benches {
+		r, err := s.Baseline(b)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig7Row{Bench: b, Serviced: r.ServicedFractions()}
+		f.Rows = append(f.Rows, row)
+		for dt := 0; dt < mem.NumDataTypes; dt++ {
+			for l := 0; l < memsys.NumLevels; l++ {
+				f.Mean[dt][l] += row.Serviced[dt][l]
+			}
+		}
+	}
+	n := float64(len(benches))
+	for dt := 0; dt < mem.NumDataTypes; dt++ {
+		for l := 0; l < memsys.NumLevels; l++ {
+			f.Mean[dt][l] /= n
+		}
+	}
+	return f, nil
+}
+
+// Format renders Fig. 7 as text (mean across benchmarks).
+func (f *Fig7) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Fig 7: memory hierarchy usage by data type (mean service fractions)\n")
+	fmt.Fprintf(&sb, "  %-14s %8s %8s %8s %8s\n", "type", "L1", "L2", "L3", "DRAM")
+	for dt := 0; dt < mem.NumDataTypes; dt++ {
+		fmt.Fprintf(&sb, "  %-14v", mem.DataType(dt))
+		for l := 0; l < memsys.NumLevels; l++ {
+			fmt.Fprintf(&sb, " %7.1f%%", f.Mean[dt][l]*100)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// --------------------------------------------------------------- Fig. 11
+
+// Fig11Row is one benchmark's speedups, keyed by configuration name.
+type Fig11Row struct {
+	Bench   workload.Benchmark
+	Speedup map[string]float64
+}
+
+// Fig11 is the headline performance comparison.
+type Fig11 struct {
+	Rows []Fig11Row
+	// Geomean maps algorithm → configuration → geomean speedup across
+	// the five datasets (Fig. 11b).
+	Geomean map[string]map[string]float64
+}
+
+// RunFig11 reproduces Fig. 11a/11b.
+func RunFig11(s *Suite) (*Fig11, error) {
+	f := &Fig11{Geomean: make(map[string]map[string]float64)}
+	perAlgo := make(map[string]map[string][]float64)
+	for _, b := range s.benchmarks() {
+		base, err := s.Baseline(b)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig11Row{Bench: b, Speedup: make(map[string]float64)}
+		for _, k := range fig11Kinds {
+			r, err := s.Result(b, k, Variant{})
+			if err != nil {
+				return nil, err
+			}
+			sp := r.Speedup(base)
+			row.Speedup[k.String()] = sp
+			algo := b.Algo.String()
+			if perAlgo[algo] == nil {
+				perAlgo[algo] = make(map[string][]float64)
+			}
+			perAlgo[algo][k.String()] = append(perAlgo[algo][k.String()], sp)
+		}
+		f.Rows = append(f.Rows, row)
+	}
+	for algo, m := range perAlgo {
+		f.Geomean[algo] = make(map[string]float64)
+		for cfg, sps := range m {
+			f.Geomean[algo][cfg] = geomean(sps)
+		}
+	}
+	return f, nil
+}
+
+// Format renders Fig. 11a and 11b as text.
+func (f *Fig11) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Fig 11a: speedup over no-prefetch baseline\n")
+	fmt.Fprintf(&sb, "  %-18s", "benchmark")
+	for _, k := range fig11Kinds {
+		fmt.Fprintf(&sb, " %13s", k)
+	}
+	sb.WriteByte('\n')
+	for _, r := range f.Rows {
+		fmt.Fprintf(&sb, "  %-18s", r.Bench.String())
+		for _, k := range fig11Kinds {
+			fmt.Fprintf(&sb, " %13.3f", r.Speedup[k.String()])
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("Fig 11b: geomean speedup per algorithm\n")
+	fmt.Fprintf(&sb, "  %-6s", "algo")
+	for _, k := range fig11Kinds {
+		fmt.Fprintf(&sb, " %13s", k)
+	}
+	sb.WriteByte('\n')
+	for _, a := range workload.AllAlgorithms {
+		fmt.Fprintf(&sb, "  %-6s", a)
+		for _, k := range fig11Kinds {
+			fmt.Fprintf(&sb, " %13.3f", f.Geomean[a.String()][k.String()])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// --------------------------------------------------------------- Fig. 12
+
+// Fig12 compares L2 hit rates across prefetch configurations.
+type Fig12 struct {
+	// HitRate maps algorithm → configuration → mean L2 hit rate across
+	// datasets.
+	HitRate map[string]map[string]float64
+}
+
+// RunFig12 reproduces Fig. 12 (DROPLET turns the under-utilized L2 into a
+// high-hit-rate staging buffer).
+func RunFig12(s *Suite) (*Fig12, error) {
+	f := &Fig12{HitRate: make(map[string]map[string]float64)}
+	counts := make(map[string]int)
+	for _, b := range s.benchmarks() {
+		algo := b.Algo.String()
+		if f.HitRate[algo] == nil {
+			f.HitRate[algo] = make(map[string]float64)
+		}
+		for _, k := range fig12Kinds {
+			r, err := s.Result(b, k, Variant{})
+			if err != nil {
+				return nil, err
+			}
+			f.HitRate[algo][k.String()] += r.L2HitRate()
+		}
+		counts[algo]++
+	}
+	for algo, m := range f.HitRate {
+		for cfg := range m {
+			m[cfg] /= float64(counts[algo])
+		}
+	}
+	return f, nil
+}
+
+// Format renders Fig. 12 as text.
+func (f *Fig12) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Fig 12: mean private-L2 hit rate per algorithm\n")
+	fmt.Fprintf(&sb, "  %-6s", "algo")
+	for _, k := range fig12Kinds {
+		fmt.Fprintf(&sb, " %13s", k)
+	}
+	sb.WriteByte('\n')
+	for _, a := range workload.AllAlgorithms {
+		fmt.Fprintf(&sb, "  %-6s", a)
+		for _, k := range fig12Kinds {
+			fmt.Fprintf(&sb, " %12.1f%%", f.HitRate[a.String()][k.String()]*100)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// --------------------------------------------------------------- Fig. 13
+
+// Fig13 breaks down off-chip demand MPKI by data type per configuration.
+type Fig13 struct {
+	// MPKI maps algorithm → configuration → per-type demand MPKI (mean
+	// across datasets).
+	MPKI map[string]map[string][mem.NumDataTypes]float64
+}
+
+// RunFig13 reproduces Fig. 13.
+func RunFig13(s *Suite) (*Fig13, error) {
+	f := &Fig13{MPKI: make(map[string]map[string][mem.NumDataTypes]float64)}
+	counts := make(map[string]int)
+	for _, b := range s.benchmarks() {
+		algo := b.Algo.String()
+		if f.MPKI[algo] == nil {
+			f.MPKI[algo] = make(map[string][mem.NumDataTypes]float64)
+		}
+		for _, k := range fig12Kinds {
+			r, err := s.Result(b, k, Variant{})
+			if err != nil {
+				return nil, err
+			}
+			acc := f.MPKI[algo][k.String()]
+			m := r.DemandMPKIByType()
+			for dt := range acc {
+				acc[dt] += m[dt]
+			}
+			f.MPKI[algo][k.String()] = acc
+		}
+		counts[algo]++
+	}
+	for algo, m := range f.MPKI {
+		for cfg, acc := range m {
+			for dt := range acc {
+				acc[dt] /= float64(counts[algo])
+			}
+			m[cfg] = acc
+		}
+	}
+	return f, nil
+}
+
+// Format renders Fig. 13 as text.
+func (f *Fig13) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Fig 13: off-chip demand MPKI by data type (mean per algorithm)\n")
+	fmt.Fprintf(&sb, "  %-6s %-13s %12s %12s %12s\n", "algo", "config", "structure", "property", "intermediate")
+	for _, a := range workload.AllAlgorithms {
+		for _, k := range fig12Kinds {
+			m := f.MPKI[a.String()][k.String()]
+			fmt.Fprintf(&sb, "  %-6s %-13s %12.2f %12.2f %12.2f\n", a, k,
+				m[mem.Structure], m[mem.Property], m[mem.Intermediate])
+		}
+	}
+	return sb.String()
+}
+
+// --------------------------------------------------------------- Fig. 14
+
+// Fig14 reports prefetch accuracy per configuration and data type.
+type Fig14 struct {
+	// Accuracy maps algorithm → configuration → [structure, property]
+	// accuracy (mean across datasets with issued prefetches).
+	Accuracy map[string]map[string][2]float64
+}
+
+// RunFig14 reproduces Fig. 14.
+func RunFig14(s *Suite) (*Fig14, error) {
+	kinds := []core.PrefetcherKind{core.Stream, core.StreamMPP1, core.DROPLET}
+	f := &Fig14{Accuracy: make(map[string]map[string][2]float64)}
+	counts := make(map[string]map[string][2]int)
+	for _, b := range s.benchmarks() {
+		algo := b.Algo.String()
+		if f.Accuracy[algo] == nil {
+			f.Accuracy[algo] = make(map[string][2]float64)
+			counts[algo] = make(map[string][2]int)
+		}
+		for _, k := range kinds {
+			r, err := s.Result(b, k, Variant{})
+			if err != nil {
+				return nil, err
+			}
+			acc := f.Accuracy[algo][k.String()]
+			cnt := counts[algo][k.String()]
+			if a, ok := r.PrefetchAccuracy(mem.Structure); ok {
+				acc[0] += a
+				cnt[0]++
+			}
+			if a, ok := r.PrefetchAccuracy(mem.Property); ok {
+				acc[1] += a
+				cnt[1]++
+			}
+			f.Accuracy[algo][k.String()] = acc
+			counts[algo][k.String()] = cnt
+		}
+	}
+	for algo, m := range f.Accuracy {
+		for cfg, acc := range m {
+			cnt := counts[algo][cfg]
+			for i := range acc {
+				if cnt[i] > 0 {
+					acc[i] /= float64(cnt[i])
+				}
+			}
+			m[cfg] = acc
+		}
+	}
+	return f, nil
+}
+
+// Format renders Fig. 14 as text.
+func (f *Fig14) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Fig 14: prefetch accuracy (mean per algorithm)\n")
+	fmt.Fprintf(&sb, "  %-6s %-13s %12s %12s\n", "algo", "config", "structure", "property")
+	for _, a := range workload.AllAlgorithms {
+		for _, k := range []core.PrefetcherKind{core.Stream, core.StreamMPP1, core.DROPLET} {
+			acc := f.Accuracy[a.String()][k.String()]
+			fmt.Fprintf(&sb, "  %-6s %-13s %11.1f%% %11.1f%%\n", a, k, acc[0]*100, acc[1]*100)
+		}
+	}
+	return sb.String()
+}
+
+// --------------------------------------------------------------- Fig. 15
+
+// Fig15 reports bandwidth overhead (BPKI) per configuration.
+type Fig15 struct {
+	// BPKI maps algorithm → configuration → mean BPKI; Extra is the
+	// percentage increase of droplet over nopf per algorithm.
+	BPKI  map[string]map[string]float64
+	Extra map[string]float64
+}
+
+// RunFig15 reproduces Fig. 15 (paper: DROPLET adds 6.5%-19.9% bandwidth).
+func RunFig15(s *Suite) (*Fig15, error) {
+	f := &Fig15{BPKI: make(map[string]map[string]float64), Extra: make(map[string]float64)}
+	counts := make(map[string]int)
+	for _, b := range s.benchmarks() {
+		algo := b.Algo.String()
+		if f.BPKI[algo] == nil {
+			f.BPKI[algo] = make(map[string]float64)
+		}
+		for _, k := range fig12Kinds {
+			r, err := s.Result(b, k, Variant{})
+			if err != nil {
+				return nil, err
+			}
+			f.BPKI[algo][k.String()] += r.BPKI()
+		}
+		counts[algo]++
+	}
+	for algo, m := range f.BPKI {
+		for cfg := range m {
+			m[cfg] /= float64(counts[algo])
+		}
+		if base := m[core.NoPrefetch.String()]; base > 0 {
+			f.Extra[algo] = (m[core.DROPLET.String()] - base) / base
+		}
+	}
+	return f, nil
+}
+
+// Format renders Fig. 15 as text.
+func (f *Fig15) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Fig 15: DRAM bus accesses per kilo-instruction (mean per algorithm)\n")
+	fmt.Fprintf(&sb, "  %-6s", "algo")
+	for _, k := range fig12Kinds {
+		fmt.Fprintf(&sb, " %13s", k)
+	}
+	fmt.Fprintf(&sb, " %13s\n", "droplet-extra")
+	for _, a := range workload.AllAlgorithms {
+		fmt.Fprintf(&sb, "  %-6s", a)
+		for _, k := range fig12Kinds {
+			fmt.Fprintf(&sb, " %13.2f", f.BPKI[a.String()][k.String()])
+		}
+		fmt.Fprintf(&sb, " %12.1f%%\n", f.Extra[a.String()]*100)
+	}
+	return sb.String()
+}

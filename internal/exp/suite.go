@@ -1,0 +1,162 @@
+// Package exp reproduces every table and figure of the paper's
+// evaluation. Each experiment function takes a Suite (a cache of
+// simulation results keyed by benchmark × machine variant) and returns
+// structured rows plus a formatted table, so the same code backs the
+// benchmark harness, the CLI, and EXPERIMENTS.md.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"droplet/internal/core"
+	"droplet/internal/sim"
+	"droplet/internal/trace"
+	"droplet/internal/workload"
+)
+
+// Variant names a machine modification applied on top of the experiment
+// baseline (empty for the baseline itself).
+type Variant struct {
+	Name string
+	// Mutate adjusts the machine configuration.
+	Mutate func(*sim.Config)
+}
+
+// Machine returns the experiment machine for the scale: the Table I
+// baseline with caches scaled to preserve the paper's
+// footprint-to-capacity ratios against the scale's datasets (DESIGN.md
+// documents the mapping).
+func Machine(sc workload.Scale) sim.Config {
+	cfg := sim.DefaultConfig()
+	switch sc {
+	case workload.Full:
+		cfg.L1.SizeBytes = 8 << 10
+		cfg.L2.SizeBytes = 64 << 10
+		cfg.LLC.SizeBytes = 256 << 10
+	default: // Quick
+		cfg.L1.SizeBytes = 2 << 10
+		cfg.L2.SizeBytes = 16 << 10
+		cfg.LLC.SizeBytes = 32 << 10
+	}
+	return cfg
+}
+
+// Suite lazily runs and caches simulations. It keeps at most one
+// benchmark's trace alive at a time, so experiments should iterate
+// benchmark-major (they do).
+type Suite struct {
+	Scale workload.Scale
+	// Benchmarks restricts the benchmark matrix (nil means all 25 pairs);
+	// the CLI uses it for filtering and tests for speed.
+	Benchmarks []workload.Benchmark
+
+	mu       sync.Mutex
+	results  map[string]*sim.Result
+	curBench string
+	curTrace *trace.Trace
+	// Progress, when set, receives a line per completed simulation.
+	Progress func(string)
+}
+
+// NewSuite returns an empty suite at the given scale.
+func NewSuite(sc workload.Scale) *Suite {
+	return &Suite{Scale: sc, results: make(map[string]*sim.Result)}
+}
+
+func (s *Suite) traceFor(b workload.Benchmark) (*trace.Trace, error) {
+	key := b.String()
+	if s.curBench == key && s.curTrace != nil {
+		return s.curTrace, nil
+	}
+	tr, err := workload.GenerateTrace(b, s.Scale, 0)
+	if err != nil {
+		return nil, err
+	}
+	s.curBench = key
+	s.curTrace = tr
+	return tr, nil
+}
+
+// Result runs (or returns the cached result of) benchmark b with
+// prefetcher kind on the baseline machine modified by variant.
+func (s *Suite) Result(b workload.Benchmark, kind core.PrefetcherKind, v Variant) (*sim.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := fmt.Sprintf("%s/%v/%s", b, kind, v.Name)
+	if r, ok := s.results[key]; ok {
+		return r, nil
+	}
+	tr, err := s.traceFor(b)
+	if err != nil {
+		return nil, err
+	}
+	cfg := Machine(s.Scale)
+	cfg.Prefetcher = kind
+	if v.Mutate != nil {
+		v.Mutate(&cfg)
+	}
+	r, err := sim.Run(tr, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", key, err)
+	}
+	s.results[key] = r
+	if s.Progress != nil {
+		s.Progress(fmt.Sprintf("ran %-28s %12d cycles", key, r.Cycles))
+	}
+	return r, nil
+}
+
+// benchmarks returns the suite's benchmark matrix.
+func (s *Suite) benchmarks() []workload.Benchmark {
+	if s.Benchmarks != nil {
+		return s.Benchmarks
+	}
+	return workload.AllBenchmarks()
+}
+
+// Algorithms returns the algorithms present in the suite's matrix, in
+// canonical order.
+func (s *Suite) Algorithms() []workload.Algorithm {
+	seen := make(map[workload.Algorithm]bool)
+	for _, b := range s.benchmarks() {
+		seen[b.Algo] = true
+	}
+	var out []workload.Algorithm
+	for _, a := range workload.AllAlgorithms {
+		if seen[a] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Baseline is shorthand for the no-prefetch baseline result.
+func (s *Suite) Baseline(b workload.Benchmark) (*sim.Result, error) {
+	return s.Result(b, core.NoPrefetch, Variant{})
+}
+
+// Analyze returns trace-level dependency statistics for b (no timing
+// simulation; used by Figs. 5 and 6).
+func (s *Suite) Analyze(b workload.Benchmark, robSize int) (trace.DepStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tr, err := s.traceFor(b)
+	if err != nil {
+		return trace.DepStats{}, err
+	}
+	return trace.AnalyzeDependencies(tr, robSize), nil
+}
+
+// geomean returns the geometric mean of xs (0 when empty).
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var logsum float64
+	for _, x := range xs {
+		logsum += math.Log(x)
+	}
+	return math.Exp(logsum / float64(len(xs)))
+}

@@ -1,0 +1,41 @@
+package graph
+
+import "testing"
+
+func BenchmarkKronScale12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Kron(12, 16, GenOptions{Seed: uint64(i), Symmetrize: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUniformScale12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Uniform(12, 16, GenOptions{Seed: uint64(i), Symmetrize: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTranspose(b *testing.B) {
+	g, err := Kron(12, 16, GenOptions{Seed: 1, Symmetrize: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Transpose()
+	}
+}
+
+func BenchmarkDegreeStats(b *testing.B) {
+	g, err := Kron(12, 16, GenOptions{Seed: 1, Symmetrize: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeDegreeStats(g)
+	}
+}

@@ -1,0 +1,177 @@
+package graph
+
+import "fmt"
+
+// GenOptions configures the synthetic graph generators.
+type GenOptions struct {
+	Seed       uint64
+	Weighted   bool
+	MaxWeight  int32 // weights drawn uniformly from [1, MaxWeight]; default 255
+	Symmetrize bool  // build the undirected version (GAP default for kron/urand)
+}
+
+func (o GenOptions) maxWeight() int32 {
+	if o.MaxWeight <= 0 {
+		return 255
+	}
+	return o.MaxWeight
+}
+
+func (o GenOptions) assignWeights(edges []Edge, r *RNG) {
+	if !o.Weighted {
+		return
+	}
+	mw := o.maxWeight()
+	for i := range edges {
+		edges[i].W = 1 + int32(r.Intn(int(mw)))
+	}
+}
+
+// RMAT generates a 2^scale-vertex RMAT graph with degree*2^scale edges
+// using the given partition probabilities. GAP's Kronecker generator uses
+// a=0.57, b=c=0.19 (see Kron). Social-network proxies use a skewed but
+// less extreme partition.
+func RMAT(scale, degree int, a, b, c float64, opt GenOptions) (*CSR, error) {
+	if scale < 1 || scale > 30 {
+		return nil, fmt.Errorf("graph: RMAT scale %d out of range [1,30]", scale)
+	}
+	if degree < 1 {
+		return nil, fmt.Errorf("graph: RMAT degree %d < 1", degree)
+	}
+	if a+b+c >= 1.0 {
+		return nil, fmt.Errorf("graph: RMAT partition a+b+c=%.3f must be < 1", a+b+c)
+	}
+	n := 1 << scale
+	m := n * degree
+	r := NewRNG(opt.Seed ^ 0x7a3d_91c4_55aa_0f0f)
+	edges := make([]Edge, 0, m)
+	for i := 0; i < m; i++ {
+		var u, v uint32
+		for bit := scale - 1; bit >= 0; bit-- {
+			p := r.Float64()
+			switch {
+			case p < a:
+				// upper-left: no bits set
+			case p < a+b:
+				v |= 1 << bit
+			case p < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		edges = append(edges, Edge{U: u, V: v})
+	}
+	opt.assignWeights(edges, r)
+	return FromEdges(edges, BuildOptions{
+		NumVertices:   n,
+		Symmetrize:    opt.Symmetrize,
+		Dedupe:        true,
+		DropSelfLoops: true,
+		Weighted:      opt.Weighted,
+	})
+}
+
+// Kron generates a GAP-style Kronecker graph (RMAT with a=0.57, b=c=0.19),
+// the "kron" dataset of Table III.
+func Kron(scale, degree int, opt GenOptions) (*CSR, error) {
+	return RMAT(scale, degree, 0.57, 0.19, 0.19, opt)
+}
+
+// Uniform generates a 2^scale-vertex uniform-random graph with
+// degree*2^scale edges (the "urand" dataset of Table III): both endpoints
+// of every edge are drawn uniformly.
+func Uniform(scale, degree int, opt GenOptions) (*CSR, error) {
+	if scale < 1 || scale > 30 {
+		return nil, fmt.Errorf("graph: Uniform scale %d out of range [1,30]", scale)
+	}
+	if degree < 1 {
+		return nil, fmt.Errorf("graph: Uniform degree %d < 1", degree)
+	}
+	n := 1 << scale
+	m := n * degree
+	r := NewRNG(opt.Seed ^ 0x1234_5678_9abc_def0)
+	edges := make([]Edge, 0, m)
+	for i := 0; i < m; i++ {
+		edges = append(edges, Edge{U: uint32(r.Intn(n)), V: uint32(r.Intn(n))})
+	}
+	opt.assignWeights(edges, r)
+	return FromEdges(edges, BuildOptions{
+		NumVertices:   n,
+		Symmetrize:    opt.Symmetrize,
+		Dedupe:        true,
+		DropSelfLoops: true,
+		Weighted:      opt.Weighted,
+	})
+}
+
+// Grid generates a rows×cols 2D mesh: each cell connects to its 4-neighbors.
+// A small fraction of extra "diagonal highway" edges is added so the
+// diameter is large but not degenerate, approximating a road network (the
+// "road" dataset of Table III: low degree, huge diameter, high locality).
+func Grid(rows, cols int, opt GenOptions) (*CSR, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("graph: Grid %dx%d invalid", rows, cols)
+	}
+	n := rows * cols
+	if n > 1<<30 {
+		return nil, fmt.Errorf("graph: Grid %dx%d too large", rows, cols)
+	}
+	id := func(rr, cc int) uint32 { return uint32(rr*cols + cc) }
+	r := NewRNG(opt.Seed ^ 0xfeed_f00d_dead_beef)
+	edges := make([]Edge, 0, 2*n+n/16)
+	for rr := 0; rr < rows; rr++ {
+		for cc := 0; cc < cols; cc++ {
+			if cc+1 < cols {
+				edges = append(edges, Edge{U: id(rr, cc), V: id(rr, cc+1)})
+			}
+			if rr+1 < rows {
+				edges = append(edges, Edge{U: id(rr, cc), V: id(rr+1, cc)})
+			}
+		}
+	}
+	// Sparse shortcut edges (~1/16 of vertices) emulate highway ramps.
+	for i := 0; i < n/16; i++ {
+		edges = append(edges, Edge{U: uint32(r.Intn(n)), V: uint32(r.Intn(n))})
+	}
+	opt.assignWeights(edges, r)
+	return FromEdges(edges, BuildOptions{
+		NumVertices:   n,
+		Symmetrize:    true, // roads are undirected
+		Dedupe:        true,
+		DropSelfLoops: true,
+		Weighted:      opt.Weighted,
+	})
+}
+
+// SocialNetwork generates an orkut/livejournal-style proxy: an RMAT graph
+// with a moderately skewed partition whose vertex IDs are then randomly
+// relabeled. Real SNAP social graphs have heavy-tailed degrees but little
+// ID locality; the relabeling destroys the RMAT generator's ID locality to
+// match.
+func SocialNetwork(scale, degree int, opt GenOptions) (*CSR, error) {
+	g, err := RMAT(scale, degree, 0.45, 0.22, 0.22, GenOptions{
+		Seed:     opt.Seed ^ 0x50c1a1,
+		Weighted: false, // relabel first, then weights
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := NewRNG(opt.Seed ^ 0x9e11_a5e5)
+	perm := r.Perm(g.NumVertices())
+	edges := make([]Edge, 0, g.NumEdges())
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, v := range g.Neighbors(uint32(u)) {
+			edges = append(edges, Edge{U: perm[u], V: perm[v]})
+		}
+	}
+	opt.assignWeights(edges, r)
+	return FromEdges(edges, BuildOptions{
+		NumVertices:   g.NumVertices(),
+		Symmetrize:    opt.Symmetrize,
+		Dedupe:        true,
+		DropSelfLoops: true,
+		Weighted:      opt.Weighted,
+	})
+}

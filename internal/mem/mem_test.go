@@ -1,0 +1,254 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMallocTagsStructurePages(t *testing.T) {
+	as := NewAddressSpace()
+	inter := as.Malloc("offsets", 3*PageSize, Intermediate)
+	str := as.Malloc("neigh", 2*PageSize+1, Structure)
+	prop := as.Malloc("scores", 100, Property)
+
+	if str.Base != inter.End() {
+		t.Errorf("regions not contiguous: %v then %v", inter, str)
+	}
+	if str.Size != 3*PageSize {
+		t.Errorf("structure size = %d, want rounded to 3 pages", str.Size)
+	}
+	pte, ok := as.Lookup(str.Base + PageSize)
+	if !ok || !pte.Structure {
+		t.Errorf("structure page PTE = %+v, ok=%v", pte, ok)
+	}
+	pte, ok = as.Lookup(prop.Base)
+	if !ok || pte.Structure {
+		t.Errorf("property page PTE = %+v, ok=%v", pte, ok)
+	}
+	pte, ok = as.Lookup(inter.Base)
+	if !ok || pte.Structure {
+		t.Errorf("intermediate page PTE = %+v, ok=%v", pte, ok)
+	}
+}
+
+func TestTranslateRoundTrip(t *testing.T) {
+	as := NewAddressSpace()
+	r := as.Malloc("a", 8*PageSize, Property)
+	pa1, ok := as.Translate(r.Base + 123)
+	if !ok {
+		t.Fatal("translate failed")
+	}
+	pa2, ok := as.Translate(r.Base + 123 + PageSize)
+	if !ok {
+		t.Fatal("translate failed")
+	}
+	if pa1&(PageSize-1) != 123 {
+		t.Errorf("page offset not preserved: %#x", pa1)
+	}
+	if pa2 == pa1 {
+		t.Error("distinct pages translated to same physical page")
+	}
+	if _, ok := as.Translate(r.End() + PageSize); ok {
+		t.Error("unmapped address translated")
+	}
+	if _, ok := as.Translate(0); ok {
+		t.Error("null address translated")
+	}
+}
+
+func TestTypeOf(t *testing.T) {
+	as := NewAddressSpace()
+	a := as.Malloc("inter", PageSize, Intermediate)
+	b := as.Malloc("struct", PageSize, Structure)
+	c := as.Malloc("prop", PageSize, Property)
+	cases := []struct {
+		addr Addr
+		want DataType
+	}{
+		{a.Base, Intermediate},
+		{a.End() - 1, Intermediate},
+		{b.Base, Structure},
+		{b.Base + 100, Structure},
+		{c.Base, Property},
+		{c.End(), Intermediate}, // past the last region
+		{0, Intermediate},
+	}
+	for _, tc := range cases {
+		if got := as.TypeOf(tc.addr); got != tc.want {
+			t.Errorf("TypeOf(%#x) = %v, want %v", tc.addr, got, tc.want)
+		}
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	as := NewAddressSpace()
+	as.Malloc("a", PageSize, Structure)
+	as.Malloc("b", 2*PageSize, Structure)
+	as.Malloc("c", PageSize, Property)
+	f := as.Footprint()
+	if f[Structure] != 3*PageSize || f[Property] != PageSize || f[Intermediate] != 0 {
+		t.Errorf("footprint = %v", f)
+	}
+}
+
+func TestLineAndPageHelpers(t *testing.T) {
+	if LineAddr(0x12345) != 0x12340 {
+		t.Errorf("LineAddr = %#x", LineAddr(0x12345))
+	}
+	if PageNumber(0x3456) != 3 {
+		t.Errorf("PageNumber = %d", PageNumber(0x3456))
+	}
+}
+
+func TestPropTypeOfMatchesLinearScan(t *testing.T) {
+	as := NewAddressSpace()
+	types := []DataType{Intermediate, Structure, Property, Structure, Property, Intermediate}
+	var regions []Region
+	for i, dt := range types {
+		regions = append(regions, as.Malloc("r", uint64(i+1)*PageSize, dt))
+	}
+	linear := func(a Addr) DataType {
+		for _, r := range regions {
+			if r.Contains(a) {
+				return r.Type
+			}
+		}
+		return Intermediate
+	}
+	f := func(off uint32) bool {
+		a := regions[0].Base + Addr(off)%(21*PageSize+PageSize) // may fall past the end
+		return as.TypeOf(a) == linear(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTLBBasicLRU(t *testing.T) {
+	as := NewAddressSpace()
+	r := as.Malloc("a", 10*PageSize, Structure)
+	tlb := NewTLB(2)
+
+	lookupVia := func(off uint64) PTE {
+		a := r.Base + off
+		pte, ok := tlb.Lookup(a)
+		if !ok {
+			pte, _ = as.Lookup(a)
+			tlb.Insert(a, pte)
+		}
+		return pte
+	}
+
+	p0 := lookupVia(0)
+	p1 := lookupVia(PageSize)
+	if p0.PPN == p1.PPN {
+		t.Fatal("distinct pages share PPN")
+	}
+	if _, ok := tlb.Lookup(r.Base); !ok {
+		t.Error("page 0 should hit")
+	}
+	// Insert a third page; page 1 is now LRU and must be evicted.
+	lookupVia(2 * PageSize)
+	if _, ok := tlb.Lookup(r.Base + PageSize); ok {
+		t.Error("page 1 should have been evicted")
+	}
+	if _, ok := tlb.Lookup(r.Base); !ok {
+		t.Error("page 0 (recently used) should survive")
+	}
+	hits, misses := tlb.Stats()
+	if hits == 0 || misses == 0 {
+		t.Errorf("stats hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestTLBInvalidateMatching(t *testing.T) {
+	as := NewAddressSpace()
+	str := as.Malloc("s", 4*PageSize, Structure)
+	prop := as.Malloc("p", 4*PageSize, Property)
+	tlb := NewTLB(16)
+	for i := uint64(0); i < 4; i++ {
+		pte, _ := as.Lookup(str.Base + i*PageSize)
+		tlb.Insert(str.Base+i*PageSize, pte)
+		pte, _ = as.Lookup(prop.Base + i*PageSize)
+		tlb.Insert(prop.Base+i*PageSize, pte)
+	}
+	// MTLB shootdown rule: only non-structure invalidations reach it.
+	removed := tlb.InvalidateMatching(func(_ uint64, pte PTE) bool { return !pte.Structure })
+	if removed != 4 {
+		t.Errorf("removed = %d, want 4", removed)
+	}
+	if _, ok := tlb.Lookup(str.Base); !ok {
+		t.Error("structure entry should survive")
+	}
+	if _, ok := tlb.Lookup(prop.Base); ok {
+		t.Error("property entry should be gone")
+	}
+}
+
+func TestTLBFlushAndLen(t *testing.T) {
+	tlb := NewTLB(4)
+	tlb.Insert(0x1000, PTE{PPN: 1, Valid: true})
+	tlb.Insert(0x2000, PTE{PPN: 2, Valid: true})
+	if tlb.Len() != 2 {
+		t.Errorf("Len = %d", tlb.Len())
+	}
+	tlb.Flush()
+	if tlb.Len() != 0 {
+		t.Errorf("Len after flush = %d", tlb.Len())
+	}
+	if _, ok := tlb.Lookup(0x1000); ok {
+		t.Error("entry survived flush")
+	}
+}
+
+func TestPropTLBNeverExceedsCapacity(t *testing.T) {
+	f := func(pages []uint16) bool {
+		tlb := NewTLB(8)
+		for _, p := range pages {
+			tlb.Insert(Addr(p)<<PageShift, PTE{PPN: uint64(p), Valid: true})
+			if tlb.Len() > 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropTLBCoherentWithPageTable(t *testing.T) {
+	as := NewAddressSpace()
+	r := as.Malloc("x", 64*PageSize, Property)
+	f := func(offs []uint32) bool {
+		tlb := NewTLB(4)
+		for _, o := range offs {
+			a := r.Base + Addr(o)%(64*PageSize)
+			pte, ok := tlb.Lookup(a)
+			if !ok {
+				pte, ok = as.Lookup(a)
+				if !ok {
+					return false
+				}
+				tlb.Insert(a, pte)
+			}
+			want, _ := as.Lookup(a)
+			if pte != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDataTypeString(t *testing.T) {
+	if Structure.String() != "structure" || Property.String() != "property" || Intermediate.String() != "intermediate" {
+		t.Error("DataType.String broken")
+	}
+	if DataType(9).String() == "" {
+		t.Error("unknown DataType should still format")
+	}
+}

@@ -1,0 +1,122 @@
+package mem
+
+// TLB is a fully-associative LRU translation lookaside buffer over page
+// numbers. It backs both the core-side DTLB model (which carries the
+// extra structure bit into the L1D controller, Fig. 9(b)) and the MPP's
+// near-memory MTLB (Section V-C3).
+type TLB struct {
+	capacity int
+	entries  map[uint64]*tlbNode
+	head     *tlbNode // most recently used
+	tail     *tlbNode // least recently used
+
+	hits, misses uint64
+}
+
+type tlbNode struct {
+	vpn        uint64
+	pte        PTE
+	prev, next *tlbNode
+}
+
+// NewTLB returns a TLB holding up to capacity translations.
+func NewTLB(capacity int) *TLB {
+	if capacity < 1 {
+		panic("mem: TLB capacity must be >= 1")
+	}
+	return &TLB{capacity: capacity, entries: make(map[uint64]*tlbNode, capacity)}
+}
+
+// Lookup returns the cached PTE for the page containing a. ok=false is a
+// TLB miss; the caller walks the page table and calls Insert.
+func (t *TLB) Lookup(a Addr) (PTE, bool) {
+	vpn := PageNumber(a)
+	n, ok := t.entries[vpn]
+	if !ok {
+		t.misses++
+		return PTE{}, false
+	}
+	t.hits++
+	t.moveToFront(n)
+	return n.pte, true
+}
+
+// Insert caches a translation, evicting the LRU entry when full.
+func (t *TLB) Insert(a Addr, pte PTE) {
+	vpn := PageNumber(a)
+	if n, ok := t.entries[vpn]; ok {
+		n.pte = pte
+		t.moveToFront(n)
+		return
+	}
+	if len(t.entries) >= t.capacity {
+		lru := t.tail
+		t.unlink(lru)
+		delete(t.entries, lru.vpn)
+	}
+	n := &tlbNode{vpn: vpn, pte: pte}
+	t.entries[vpn] = n
+	t.pushFront(n)
+}
+
+// InvalidateMatching removes entries selected by keep==false from pred.
+// During a TLB shootdown the MTLB is invalidated using only the core-side
+// invalidations for non-structure entries (Section V-C3); the caller
+// expresses that policy through pred.
+func (t *TLB) InvalidateMatching(pred func(vpn uint64, pte PTE) bool) int {
+	removed := 0
+	for vpn, n := range t.entries {
+		if pred(vpn, n.pte) {
+			t.unlink(n)
+			delete(t.entries, vpn)
+			removed++
+		}
+	}
+	return removed
+}
+
+// Flush removes every entry.
+func (t *TLB) Flush() {
+	t.entries = make(map[uint64]*tlbNode, t.capacity)
+	t.head, t.tail = nil, nil
+}
+
+// Len returns the number of resident translations.
+func (t *TLB) Len() int { return len(t.entries) }
+
+// Stats returns cumulative hit and miss counts.
+func (t *TLB) Stats() (hits, misses uint64) { return t.hits, t.misses }
+
+func (t *TLB) moveToFront(n *tlbNode) {
+	if t.head == n {
+		return
+	}
+	t.unlink(n)
+	t.pushFront(n)
+}
+
+func (t *TLB) pushFront(n *tlbNode) {
+	n.prev = nil
+	n.next = t.head
+	if t.head != nil {
+		t.head.prev = n
+	}
+	t.head = n
+	if t.tail == nil {
+		t.tail = n
+	}
+}
+
+func (t *TLB) unlink(n *tlbNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		t.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		t.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}

@@ -1,0 +1,544 @@
+// Package memsys assembles the simulated memory hierarchy of Table I:
+// per-core private L1D and L2 caches, a shared inclusive LLC, and a single
+// memory controller in front of DRAM. It routes demand accesses, executes
+// prefetch requests from the L2-side prefetchers, and implements the
+// prefetch.Chip interface the MPP uses (coherence probe + the two
+// property-delivery paths of Fig. 8).
+package memsys
+
+import (
+	"container/heap"
+	"fmt"
+
+	"droplet/internal/cache"
+	"droplet/internal/dram"
+	"droplet/internal/mem"
+	"droplet/internal/prefetch"
+)
+
+// Level identifies which level of the hierarchy serviced a demand access.
+type Level uint8
+
+// Hierarchy levels, closest first.
+const (
+	LevelL1 Level = iota
+	LevelL2
+	LevelL3
+	LevelDRAM
+	NumLevels = 4
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelL3:
+		return "L3"
+	case LevelDRAM:
+		return "DRAM"
+	default:
+		return fmt.Sprintf("Level(%d)", uint8(l))
+	}
+}
+
+// Config describes the hierarchy.
+type Config struct {
+	Cores int
+	L1    cache.Config
+	L2    cache.Config
+	LLC   cache.Config
+	DRAM  dram.Config
+	// NoL2 removes the private L2s entirely (the leftmost bar of
+	// Fig. 4b(ii)).
+	NoL2 bool
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Cores < 1 {
+		return fmt.Errorf("memsys: %d cores", c.Cores)
+	}
+	if err := c.L1.Validate(); err != nil {
+		return err
+	}
+	if !c.NoL2 {
+		if err := c.L2.Validate(); err != nil {
+			return err
+		}
+	}
+	if err := c.LLC.Validate(); err != nil {
+		return err
+	}
+	return c.DRAM.Validate()
+}
+
+// Stats aggregates hierarchy-wide counters.
+type Stats struct {
+	// ServicedBy counts demand loads+stores by the level that supplied
+	// the data, per data type (Fig. 7's breakdown).
+	ServicedBy [NumLevels][mem.NumDataTypes]uint64
+	// LLCDemandMissesByType counts demand requests that went to DRAM
+	// (the Fig. 13 numerator).
+	LLCDemandMissesByType [mem.NumDataTypes]uint64
+	// PrefetchIssuedByType counts prefetch fills actually issued (after
+	// on-chip filtering), per data type — the accuracy denominator.
+	PrefetchIssuedByType [mem.NumDataTypes]uint64
+	// PrefetchFilteredOnChip counts prefetch requests dropped because the
+	// target line was already in the destination cache.
+	PrefetchFilteredOnChip uint64
+	// LatencyByLevel accumulates demand latency (completion - request) per
+	// servicing level and data type; with ServicedBy as the denominator it
+	// gives average effective latencies, exposing in-flight wait costs.
+	LatencyByLevel [NumLevels][mem.NumDataTypes]int64
+}
+
+// Hierarchy is the complete memory system.
+type Hierarchy struct {
+	cfg Config
+	as  *mem.AddressSpace
+	l1  []*cache.Cache
+	l2  []*cache.Cache
+	llc *cache.Cache
+	mc  *dram.MemoryController
+	pfs []prefetch.L2Prefetcher // per core; nil entries mean no prefetcher
+
+	// Refill subscribers (the MPP) act at refill-completion time, which
+	// lies in the future when the read is scheduled. Acting immediately
+	// would issue follow-on prefetches with future timestamps and corrupt
+	// the MC's queue cursors, so completions are buffered in a min-heap
+	// and delivered once simulated time catches up.
+	refillSubs []func(dram.Refill)
+	pending    refillHeap
+
+	stats Stats
+}
+
+// New builds the hierarchy over the given address space. Invalid configs
+// return an error.
+func New(cfg Config, as *mem.AddressSpace) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{
+		cfg: cfg,
+		as:  as,
+		l1:  make([]*cache.Cache, cfg.Cores),
+		l2:  make([]*cache.Cache, cfg.Cores),
+		llc: cache.New(cfg.LLC),
+		mc:  dram.NewMemoryController(cfg.DRAM),
+		pfs: make([]prefetch.L2Prefetcher, cfg.Cores),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		h.l1[i] = cache.New(cfg.L1)
+		if !cfg.NoL2 {
+			h.l2[i] = cache.New(cfg.L2)
+		}
+	}
+	h.mc.SubscribeRefill(func(r dram.Refill) {
+		if len(h.refillSubs) > 0 {
+			heap.Push(&h.pending, r)
+		}
+	})
+	return h, nil
+}
+
+// SubscribeRefill registers a callback invoked for every completed DRAM
+// read fill, delivered when simulated time reaches the fill's completion
+// (the MPP attach point).
+func (h *Hierarchy) SubscribeRefill(f func(dram.Refill)) {
+	h.refillSubs = append(h.refillSubs, f)
+}
+
+// drainRefills delivers every buffered refill that has completed by now.
+func (h *Hierarchy) drainRefills(now int64) {
+	for len(h.pending) > 0 && h.pending[0].ReadyAt <= now {
+		r := heap.Pop(&h.pending).(dram.Refill)
+		for _, f := range h.refillSubs {
+			f(r)
+		}
+	}
+}
+
+// refillHeap is a min-heap of refills by completion time.
+type refillHeap []dram.Refill
+
+func (q refillHeap) Len() int           { return len(q) }
+func (q refillHeap) Less(i, j int) bool { return q[i].ReadyAt < q[j].ReadyAt }
+func (q refillHeap) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *refillHeap) Push(x any)        { *q = append(*q, x.(dram.Refill)) }
+func (q *refillHeap) Pop() any {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// AttachL2Prefetcher installs p as core's L2-side prefetcher.
+func (h *Hierarchy) AttachL2Prefetcher(core int, p prefetch.L2Prefetcher) {
+	h.pfs[core] = p
+}
+
+// NumCores returns the number of cores the hierarchy serves.
+func (h *Hierarchy) NumCores() int { return h.cfg.Cores }
+
+// RefillClimbLatency returns the cycles a refill needs to climb from the
+// MC through LLC and L2 into the L1 — the trigger handicap of a
+// monolithic L1 prefetcher versus DROPLET's MC-side MPP.
+func (h *Hierarchy) RefillClimbLatency() int64 {
+	lat := int64(h.cfg.LLC.LatencyData) + int64(h.cfg.L1.LatencyData)
+	if !h.cfg.NoL2 {
+		lat += int64(h.cfg.L2.LatencyData)
+	}
+	return lat
+}
+
+// MC returns the memory controller (for MPP refill subscription and
+// bandwidth stats).
+func (h *Hierarchy) MC() *dram.MemoryController { return h.mc }
+
+// LLC returns the shared cache (stats access).
+func (h *Hierarchy) LLC() *cache.Cache { return h.llc }
+
+// L1 and L2 return a core's private caches (L2 may be nil under NoL2).
+func (h *Hierarchy) L1(core int) *cache.Cache { return h.l1[core] }
+
+// L2 returns a core's private L2 cache, or nil when the hierarchy was
+// built with NoL2.
+func (h *Hierarchy) L2(core int) *cache.Cache { return h.l2[core] }
+
+// Stats returns the live hierarchy counters.
+func (h *Hierarchy) Stats() *Stats { return &h.stats }
+
+// AddressSpace returns the address space the hierarchy translates with.
+func (h *Hierarchy) AddressSpace() *mem.AddressSpace { return h.as }
+
+// Access performs a demand access from core at time now and returns the
+// completion time plus the level that serviced it.
+func (h *Hierarchy) Access(core int, vaddr mem.Addr, dtype mem.DataType, write bool, now int64) (int64, Level) {
+	vline := mem.LineAddr(vaddr)
+	pte, ok := h.as.Lookup(vline)
+	if !ok {
+		// Unmapped accesses indicate a trace/layout bug.
+		panic(fmt.Sprintf("memsys: access to unmapped address %#x", vaddr))
+	}
+	paddr := pte.PPN<<mem.PageShift | (vline & (mem.PageSize - 1))
+
+	h.drainRefills(now)
+
+	t := now
+	l1 := h.l1[core]
+	if ready, hit := l1.Access(paddr, dtype, write, t); hit {
+		ready = h.expedite(paddr, ready, t)
+		h.stats.ServicedBy[LevelL1][dtype]++
+		complete := ready + int64(h.cfg.L1.LatencyData)
+		h.stats.LatencyByLevel[LevelL1][dtype] += complete - now
+		return complete, LevelL1
+	}
+	t += int64(h.cfg.L1.LatencyTag)
+
+	// The L1 miss enters the L2 request queue, which every L2 prefetcher
+	// snoops (Fig. 9). The data-aware path sees the TLB's structure bit.
+	l2 := h.l2[core]
+	var l2Ready int64
+	l2Hit := false
+	if l2 != nil {
+		l2Ready, l2Hit = l2.Access(paddr, dtype, write, t)
+	}
+
+	if pf := h.pfs[core]; pf != nil {
+		reqs := pf.OnAccess(prefetch.AccessInfo{
+			Core:         core,
+			VAddr:        vline,
+			PAddr:        paddr,
+			DType:        dtype,
+			StructureBit: pte.Structure,
+			L2Hit:        l2Hit,
+			Write:        write,
+			Now:          t,
+		})
+		for _, r := range reqs {
+			h.ExecutePrefetch(r, t)
+		}
+	}
+
+	if l2Hit {
+		l2Ready = h.expedite(paddr, l2Ready, t)
+		complete := max64(l2Ready, t) + int64(h.cfg.L2.LatencyData)
+		h.fillUpper(core, paddr, dtype, complete, write, true, false)
+		h.stats.ServicedBy[LevelL2][dtype]++
+		h.stats.LatencyByLevel[LevelL2][dtype] += complete - now
+		return complete, LevelL2
+	}
+	if l2 != nil {
+		t += int64(h.cfg.L2.LatencyTag)
+	}
+
+	if ready, hit := h.llc.Access(paddr, dtype, write, t); hit {
+		ready = h.expedite(paddr, ready, t)
+		complete := max64(ready, t) + int64(h.cfg.LLC.LatencyData)
+		h.fillUpper(core, paddr, dtype, complete, write, true, true)
+		h.stats.ServicedBy[LevelL3][dtype]++
+		h.stats.LatencyByLevel[LevelL3][dtype] += complete - now
+		return complete, LevelL3
+	}
+	t += int64(h.cfg.LLC.LatencyTag)
+
+	// Off-chip.
+	h.stats.LLCDemandMissesByType[dtype]++
+	complete := h.mc.Access(dram.Request{
+		Addr:   paddr,
+		VAddr:  vline,
+		CoreID: core,
+		DType:  dtype,
+	}, t)
+	h.fillLLC(paddr, dtype, complete, false)
+	h.fillUpper(core, paddr, dtype, complete, write, true, true)
+	h.stats.ServicedBy[LevelDRAM][dtype]++
+	h.stats.LatencyByLevel[LevelDRAM][dtype] += complete - now
+	return complete, LevelDRAM
+}
+
+// expedite caps the wait on an in-flight fill at the cheapest demand
+// alternative: forwarding from an LLC-resident copy, or a fresh demand
+// read that the MC schedules at demand priority (promoting the merged
+// prefetch, the C-bit's scheduling role). Without this, a demand merging
+// with a slow prefetch would wait longer than if the prefetch had never
+// been issued.
+func (h *Hierarchy) expedite(paddr mem.Addr, ready, now int64) int64 {
+	if ready <= now {
+		return ready
+	}
+	llcLat := int64(h.cfg.LLC.LatencyTag + h.cfg.LLC.LatencyData)
+	if lr, ok := h.llc.Lookup(paddr); ok && lr < ready {
+		if alt := max64(lr, now) + llcLat; alt < ready {
+			ready = alt
+		}
+	}
+	if est := h.mc.EstimateDemand(paddr, now) + int64(h.cfg.LLC.LatencyTag); est < ready {
+		ready = est
+	}
+	return ready
+}
+
+// fillUpper installs the line into L1 (always) and optionally L2,
+// propagating writebacks and marking write-allocated lines dirty.
+func (h *Hierarchy) fillUpper(core int, paddr mem.Addr, dtype mem.DataType, readyAt int64, write, intoL1, intoL2 bool) {
+	if intoL2 && h.l2[core] != nil {
+		v := h.l2[core].Fill(paddr, dtype, readyAt, false)
+		if v.Valid && v.Dirty {
+			h.llc.MarkDirty(v.Addr)
+		}
+		if v.Valid {
+			// L1 must not cache a line its L2 dropped? A non-inclusive
+			// L1/L2 pair is common, but Table I says inclusive at all
+			// levels: evicting from L2 back-invalidates the L1.
+			if lv := h.l1[core].Invalidate(v.Addr); lv.Valid && lv.Dirty {
+				h.llc.MarkDirty(v.Addr)
+			}
+		}
+	}
+	if intoL1 {
+		v := h.l1[core].Fill(paddr, dtype, readyAt, false)
+		if write {
+			h.l1[core].MarkDirty(paddr)
+		}
+		if v.Valid && v.Dirty {
+			if h.l2[core] != nil {
+				h.l2[core].MarkDirty(v.Addr)
+			} else {
+				h.llc.MarkDirty(v.Addr)
+			}
+		}
+	}
+}
+
+// fillLLC installs a line into the shared LLC, handling inclusive
+// back-invalidation of every core's private caches and dirty writebacks
+// to DRAM.
+func (h *Hierarchy) fillLLC(paddr mem.Addr, dtype mem.DataType, readyAt int64, pf bool) {
+	v := h.llc.Fill(paddr, dtype, readyAt, pf)
+	if !v.Valid {
+		return
+	}
+	dirty := v.Dirty
+	for c := 0; c < h.cfg.Cores; c++ {
+		if lv := h.l1[c].Invalidate(v.Addr); lv.Valid && lv.Dirty {
+			dirty = true
+		}
+		if h.l2[c] != nil {
+			if lv := h.l2[c].Invalidate(v.Addr); lv.Valid && lv.Dirty {
+				dirty = true
+			}
+		}
+	}
+	if dirty {
+		h.mc.Access(dram.Request{Addr: v.Addr, Write: true, DType: v.DType}, readyAt)
+	}
+}
+
+// ExecutePrefetch runs one L2-prefetcher request at time now.
+func (h *Hierarchy) ExecutePrefetch(r prefetch.Req, now int64) {
+	vline := mem.LineAddr(r.VAddr)
+	pte, ok := h.as.Lookup(vline)
+	if !ok {
+		return // prefetch past a region: drop silently
+	}
+	paddr := pte.PPN<<mem.PageShift | (vline & (mem.PageSize - 1))
+	dtype := h.as.TypeOf(vline)
+
+	// Already at the destination? Nothing to do.
+	dest := h.l1[r.Core]
+	if l2 := h.l2[r.Core]; l2 != nil && !r.FillL1 {
+		dest = l2
+	}
+	if _, resident := dest.Lookup(paddr); resident {
+		h.stats.PrefetchFilteredOnChip++
+		return
+	}
+
+	t := now
+	if !r.ViaL3Queue {
+		// Conventional path: the request sits in the L2 queue and probes
+		// the LLC on its way out.
+		t += int64(h.cfg.L2.LatencyTag)
+	}
+	if ready, resident := h.llc.Lookup(paddr); resident {
+		// On-chip: copy from the LLC into the private cache(s).
+		complete := max64(ready, t) + int64(h.cfg.LLC.LatencyData)
+		h.llc.Promote(paddr)
+		h.installPrefetch(r.Core, paddr, dtype, complete, r.FillL1)
+		h.stats.PrefetchIssuedByType[dtype]++
+		return
+	}
+	t += int64(h.cfg.LLC.LatencyTag)
+	complete := h.mc.Access(dram.Request{
+		Addr:     paddr,
+		VAddr:    vline,
+		CoreID:   r.Core,
+		Prefetch: true,
+		CBit:     r.CBit,
+		DType:    dtype,
+	}, t)
+	h.fillLLC(paddr, dtype, complete, true)
+	h.installPrefetch(r.Core, paddr, dtype, complete, r.FillL1)
+	h.stats.PrefetchIssuedByType[dtype]++
+}
+
+// installPrefetch places a prefetched line into the private L2 (and L1
+// for the monolithic arrangement), maintaining inclusion bookkeeping.
+func (h *Hierarchy) installPrefetch(core int, paddr mem.Addr, dtype mem.DataType, readyAt int64, fillL1 bool) {
+	if l2 := h.l2[core]; l2 != nil {
+		v := l2.Fill(paddr, dtype, readyAt, true)
+		if v.Valid {
+			if v.Dirty {
+				h.llc.MarkDirty(v.Addr)
+			}
+			if lv := h.l1[core].Invalidate(v.Addr); lv.Valid && lv.Dirty {
+				h.llc.MarkDirty(v.Addr)
+			}
+		}
+	}
+	if fillL1 || h.l2[core] == nil {
+		v := h.l1[core].Fill(paddr, dtype, readyAt, true)
+		if v.Valid && v.Dirty {
+			if h.l2[core] != nil {
+				h.l2[core].MarkDirty(v.Addr)
+			} else {
+				h.llc.MarkDirty(v.Addr)
+			}
+		}
+	}
+}
+
+// LineOnChip implements prefetch.Chip: the inclusive LLC covers all
+// private caches, so an LLC probe is the coherence-engine check.
+func (h *Hierarchy) LineOnChip(paddr mem.Addr) bool {
+	_, ok := h.llc.Lookup(paddr)
+	return ok
+}
+
+// CopyLLCToL2 implements prefetch.Chip (Fig. 8: on-chip property line
+// copied from the inclusive LLC into the requesting core's private L2).
+// Lines already resident in the destination cache are left untouched.
+func (h *Hierarchy) CopyLLCToL2(core int, paddr mem.Addr, dtype mem.DataType, now int64, fillL1 bool) {
+	dest := h.l1[core]
+	if l2 := h.l2[core]; l2 != nil && !fillL1 {
+		dest = l2
+	}
+	if _, resident := dest.Lookup(paddr); resident {
+		h.stats.PrefetchFilteredOnChip++
+		return
+	}
+	ready, resident := h.llc.Lookup(paddr)
+	if !resident {
+		return // raced with an eviction between probe and copy
+	}
+	h.llc.Promote(paddr)
+	complete := max64(ready, now) + int64(h.cfg.LLC.LatencyData)
+	h.installPrefetch(core, paddr, dtype, complete, fillL1)
+	h.stats.PrefetchIssuedByType[dtype]++
+}
+
+// IssueDRAMPrefetch implements prefetch.Chip (Fig. 8: off-chip property
+// prefetch queued at the MC, filling the LLC and the private L2).
+func (h *Hierarchy) IssueDRAMPrefetch(core int, paddr, vaddr mem.Addr, dtype mem.DataType, now int64, fillL1 bool) int64 {
+	complete := h.mc.Access(dram.Request{
+		Addr:     paddr,
+		VAddr:    vaddr,
+		CoreID:   core,
+		Prefetch: true,
+		DType:    dtype,
+	}, now)
+	h.fillLLC(paddr, dtype, complete, true)
+	h.installPrefetch(core, paddr, dtype, complete, fillL1)
+	h.stats.PrefetchIssuedByType[dtype]++
+	return complete
+}
+
+// PrefetchUseful returns the demand hits on prefetched lines anywhere in
+// the hierarchy, per data type (the accuracy numerator of Fig. 14): a
+// prefetched line that was demanded before eviction was useful even if
+// the demand found it in the shared LLC rather than the private L2.
+func (h *Hierarchy) PrefetchUseful() [mem.NumDataTypes]uint64 {
+	var u [mem.NumDataTypes]uint64
+	for c := 0; c < h.cfg.Cores; c++ {
+		for dt := 0; dt < mem.NumDataTypes; dt++ {
+			u[dt] += h.l1[c].Stats().PrefetchHits[dt]
+			if h.l2[c] != nil {
+				u[dt] += h.l2[c].Stats().PrefetchHits[dt]
+			}
+		}
+	}
+	for dt := 0; dt < mem.NumDataTypes; dt++ {
+		u[dt] += h.llc.Stats().PrefetchHits[dt]
+	}
+	return u
+}
+
+// L2HitRate returns the aggregate demand hit rate across private L2s
+// (Fig. 12's metric). It returns 0 under NoL2.
+func (h *Hierarchy) L2HitRate() float64 {
+	var hits, accesses uint64
+	for c := 0; c < h.cfg.Cores; c++ {
+		if h.l2[c] == nil {
+			return 0
+		}
+		hits += h.l2[c].Stats().TotalHits()
+		accesses += h.l2[c].Stats().TotalAccesses()
+	}
+	if accesses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(accesses)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,119 @@
+package prefetch
+
+import (
+	"testing"
+
+	"droplet/internal/mem"
+)
+
+func adaptCfg() AdaptiveConfig {
+	cfg := DefaultAdaptiveConfig()
+	cfg.EpochAccesses = 100
+	cfg.ReprobeEvery = 4
+	return cfg
+}
+
+// driveEpoch feeds one epoch of accesses with the given L2 hit rate.
+func driveEpoch(a *AdaptiveStreamer, hitRate float64) {
+	for i := 0; i < 100; i++ {
+		a.OnAccess(AccessInfo{
+			VAddr: mem.Addr(0x100000 + i*mem.LineSize),
+			L2Hit: float64(i%100) < hitRate*100,
+		})
+	}
+}
+
+func TestAdaptiveStartsDataAware(t *testing.T) {
+	a := NewAdaptiveStreamer(adaptCfg())
+	if !a.DataAware() {
+		t.Fatal("should start data-aware")
+	}
+	if a.Name() != "adaptive" {
+		t.Error("bad name")
+	}
+}
+
+func TestAdaptiveProbesThenSettlesOnBetterMode(t *testing.T) {
+	a := NewAdaptiveStreamer(adaptCfg())
+	// Epoch 1 (data-aware): poor hit rate.
+	driveEpoch(a, 0.1)
+	if a.DataAware() {
+		t.Fatal("should probe conventional after first epoch")
+	}
+	// Epoch 2 (conventional): great hit rate.
+	driveEpoch(a, 0.9)
+	if a.DataAware() {
+		t.Fatal("should settle on conventional (better measured rate)")
+	}
+	// Several stable epochs: stays conventional.
+	for i := 0; i < 3; i++ {
+		driveEpoch(a, 0.9)
+		if a.DataAware() {
+			t.Fatalf("flipped away from the better mode at epoch %d", i+3)
+		}
+	}
+}
+
+func TestAdaptiveReprobes(t *testing.T) {
+	cfg := adaptCfg()
+	a := NewAdaptiveStreamer(cfg)
+	driveEpoch(a, 0.9) // aware measured high
+	driveEpoch(a, 0.1) // conventional probe measured low
+	// Now settled on aware; after ReprobeEvery settled epochs it must
+	// probe conventional again.
+	probed := false
+	for i := 0; i < cfg.ReprobeEvery+2; i++ {
+		driveEpoch(a, 0.9)
+		if !a.DataAware() {
+			probed = true
+			break
+		}
+	}
+	if !probed {
+		t.Error("never re-probed the other mode")
+	}
+}
+
+func TestAdaptiveSwitchCounting(t *testing.T) {
+	a := NewAdaptiveStreamer(adaptCfg())
+	driveEpoch(a, 0.5)
+	if a.Switches == 0 {
+		t.Error("probe switch not counted")
+	}
+}
+
+func TestAdaptiveModeAffectsRequests(t *testing.T) {
+	cfg := adaptCfg()
+	a := NewAdaptiveStreamer(cfg)
+	// In data-aware mode, non-structure streams yield nothing.
+	var reqs []Req
+	for i := 0; i < 8; i++ {
+		reqs = append(reqs, a.OnAccess(AccessInfo{VAddr: mem.Addr(0x400000 + i*mem.LineSize)})...)
+	}
+	if len(reqs) != 0 {
+		t.Fatal("data-aware mode prefetched non-structure stream")
+	}
+	// Force conventional mode via a poor-then-good probe cycle.
+	a.setMode(false)
+	reqs = nil
+	for i := 0; i < 8; i++ {
+		reqs = append(reqs, a.OnAccess(AccessInfo{VAddr: mem.Addr(0x800000 + i*mem.LineSize)})...)
+	}
+	if len(reqs) == 0 {
+		t.Fatal("conventional mode did not prefetch the stream")
+	}
+	for _, r := range reqs {
+		if r.CBit {
+			t.Error("conventional-mode request carries the C-bit")
+		}
+	}
+}
+
+func TestAdaptiveInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewAdaptiveStreamer(AdaptiveConfig{})
+}

@@ -1,0 +1,240 @@
+package prefetch
+
+import (
+	"droplet/internal/dram"
+	"droplet/internal/mem"
+)
+
+// TriggerMode selects how the MPP recognizes structure cachelines on the
+// DRAM refill path.
+type TriggerMode uint8
+
+const (
+	// TriggerCBit reacts only to refills whose MRB C-bit is set — i.e.
+	// prefetches issued by the data-aware L2 streamer (DROPLET).
+	TriggerCBit TriggerMode = iota
+	// TriggerStructureOracle reacts to any prefetch refill of structure
+	// data, regardless of origin. This is MPP1 of Section VII-A: an MPP
+	// "equipped with the ability to recognize structure data", needed by
+	// streamMPP1 because a conventional streamer cannot set the C-bit
+	// meaningfully.
+	TriggerStructureOracle
+	// TriggerStructureDemand reacts to DEMAND refills of structure data —
+	// the ablation of Table IV's "when to prefetch" row: dependency
+	// chains are short, so property prefetches triggered by structure
+	// demands arrive too late.
+	TriggerStructureDemand
+)
+
+// MPPConfig parameterizes the memory-controller-based property prefetcher
+// (Table V).
+type MPPConfig struct {
+	// PAGLatency is the property-address-generator pipeline latency.
+	PAGLatency int64
+	// CoherenceCheckLatency is the cost of probing the coherence engine
+	// before issuing a DRAM prefetch.
+	CoherenceCheckLatency int64
+	// VABEntries bounds the in-flight property prefetches (VAB+PAB
+	// occupancy); when full, further prefetches from a refill are dropped.
+	VABEntries int
+	// MTLBEntries sizes the near-memory TLB; PageWalkLatency is paid on
+	// an MTLB miss.
+	MTLBEntries     int
+	PageWalkLatency int64
+	Trigger         TriggerMode
+	// ExtraTriggerDelay models a monolithic cache-side arrangement
+	// (monoDROPLETL1): the property address generation cannot start until
+	// the structure line has climbed the refill path to the prefetcher's
+	// cache level.
+	ExtraTriggerDelay int64
+	// FillL1 routes property prefetches into the requesting core's L1
+	// (again the monolithic arrangement; DROPLET fills LLC+L2).
+	FillL1 bool
+}
+
+// DefaultMPPConfig returns the Table V MPP parameters.
+func DefaultMPPConfig() MPPConfig {
+	return MPPConfig{
+		PAGLatency:            2,
+		CoherenceCheckLatency: 10,
+		VABEntries:            512,
+		MTLBEntries:           128,
+		PageWalkLatency:       50,
+		Trigger:               TriggerCBit,
+	}
+}
+
+// PropArray describes one software-registered property array (the MPP's
+// two 64-bit registers hold base and granularity; multi-property graphs
+// register several arrays, Section VI).
+type PropArray struct {
+	Base  mem.Addr
+	Elem  uint64
+	Count uint64 // number of elements, for bounds-checking scanned IDs
+}
+
+// LineScanner returns the neighbor IDs stored in the structure cacheline
+// at the given virtual line address — the PAG's parallel scan.
+type LineScanner func(vline mem.Addr) []uint32
+
+// Chip is the MPP's interface to the on-chip hierarchy: the coherence
+// engine probe and the two property-prefetch delivery paths of Fig. 8.
+type Chip interface {
+	// LineOnChip reports whether the physical line is resident in the
+	// inclusive LLC (which covers all private caches).
+	LineOnChip(paddr mem.Addr) bool
+	// CopyLLCToL2 copies an LLC-resident line into core's private L2
+	// (and optionally L1), completing at a time of the chip's choosing.
+	CopyLLCToL2(core int, paddr mem.Addr, dtype mem.DataType, now int64, fillL1 bool)
+	// IssueDRAMPrefetch queues a property prefetch read at the MC,
+	// filling the LLC and core's private L2 (and optionally L1); it
+	// returns the fill completion time.
+	IssueDRAMPrefetch(core int, paddr, vaddr mem.Addr, dtype mem.DataType, now int64, fillL1 bool) int64
+}
+
+// MPPStats counts MPP activity.
+type MPPStats struct {
+	Triggers       uint64 // structure refills reacted to
+	AddrsGenerated uint64 // property line addresses out of the PAG
+	CopiedFromLLC  uint64 // already on-chip → LLC-to-L2 copy
+	IssuedToDRAM   uint64
+	DroppedVABFull uint64
+	DroppedFault   uint64 // page-fault addresses are silently dropped
+	MTLBMisses     uint64
+}
+
+// MPP is the memory-controller-based property prefetcher.
+type MPP struct {
+	cfg   MPPConfig
+	chip  Chip
+	as    *mem.AddressSpace
+	scan  LineScanner
+	props []PropArray
+	mtlb  *mem.TLB
+
+	inflight []int64 // completion times of outstanding DRAM prefetches
+	seen     map[mem.Addr]struct{}
+	stats    MPPStats
+}
+
+// NewMPP wires an MPP to the chip. scan and props come from the workload
+// layout (software support of Section VI).
+func NewMPP(cfg MPPConfig, chip Chip, as *mem.AddressSpace, scan LineScanner, props []PropArray) *MPP {
+	if cfg.VABEntries < 1 || cfg.MTLBEntries < 1 {
+		panic("prefetch: bad MPP config")
+	}
+	return &MPP{
+		cfg:   cfg,
+		chip:  chip,
+		as:    as,
+		scan:  scan,
+		props: props,
+		mtlb:  mem.NewTLB(cfg.MTLBEntries),
+		seen:  make(map[mem.Addr]struct{}, 32),
+	}
+}
+
+// Stats returns the live counters.
+func (m *MPP) Stats() *MPPStats { return &m.stats }
+
+// Triggered reports whether the MPP reacts to this refill.
+func (m *MPP) Triggered(r dram.Refill) bool {
+	switch m.cfg.Trigger {
+	case TriggerCBit:
+		return r.CBit
+	case TriggerStructureOracle:
+		return r.Prefetch && r.DType == mem.Structure
+	case TriggerStructureDemand:
+		return !r.Prefetch && r.DType == mem.Structure
+	default:
+		return false
+	}
+}
+
+// Shootdown participates in a TLB shootdown (Section V-C3). The MTLB
+// caches only property mappings, and core-side TLB entries carry the
+// structure bit, so only invalidations for non-structure pages are
+// applied — the coherency-traffic optimization the paper describes.
+// It returns the number of MTLB entries invalidated.
+func (m *MPP) Shootdown(vpns []uint64, structureBit []bool) int {
+	drop := make(map[uint64]bool, len(vpns))
+	for i, vpn := range vpns {
+		if i < len(structureBit) && structureBit[i] {
+			continue // structure-page invalidations never reach the MTLB
+		}
+		drop[vpn] = true
+	}
+	return m.mtlb.InvalidateMatching(func(vpn uint64, _ mem.PTE) bool {
+		return drop[vpn]
+	})
+}
+
+// OnRefill is the MC refill subscription entry point (Fig. 8 ❷): scan the
+// prefetched structure line, generate property addresses, translate them
+// through the MTLB, probe the coherence engine, and deliver.
+func (m *MPP) OnRefill(r dram.Refill) {
+	if !m.Triggered(r) {
+		return
+	}
+	m.stats.Triggers++
+	base := r.ReadyAt + m.cfg.ExtraTriggerDelay + m.cfg.PAGLatency
+
+	clear(m.seen)
+	for _, id := range m.scan(r.VAddr) {
+		for _, p := range m.props {
+			if uint64(id) >= p.Count {
+				continue
+			}
+			vline := mem.LineAddr(p.Base + uint64(id)*p.Elem)
+			if _, dup := m.seen[vline]; dup {
+				continue
+			}
+			m.seen[vline] = struct{}{}
+			m.prefetchLine(r.CoreID, vline, base)
+		}
+	}
+}
+
+func (m *MPP) prefetchLine(core int, vline mem.Addr, t int64) {
+	m.stats.AddrsGenerated++
+
+	// Virtual-to-physical translation through the MTLB (Section V-C3).
+	pte, hit := m.mtlb.Lookup(vline)
+	if !hit {
+		m.stats.MTLBMisses++
+		var ok bool
+		pte, ok = m.as.Lookup(vline)
+		if !ok {
+			m.stats.DroppedFault++ // page fault: drop silently
+			return
+		}
+		m.mtlb.Insert(vline, pte)
+		t += m.cfg.PageWalkLatency
+	}
+	paddr := pte.PPN<<mem.PageShift | (vline & (mem.PageSize - 1))
+
+	t += m.cfg.CoherenceCheckLatency
+	if m.chip.LineOnChip(paddr) {
+		// Already on-chip: copy from the inclusive LLC into the private
+		// L2 (Fig. 8, green path tail).
+		m.chip.CopyLLCToL2(core, paddr, mem.Property, t, m.cfg.FillL1)
+		m.stats.CopiedFromLLC++
+		return
+	}
+
+	// VAB/PAB occupancy: prune completed entries, drop when full.
+	live := m.inflight[:0]
+	for _, c := range m.inflight {
+		if c > t {
+			live = append(live, c)
+		}
+	}
+	m.inflight = live
+	if len(m.inflight) >= m.cfg.VABEntries {
+		m.stats.DroppedVABFull++
+		return
+	}
+	done := m.chip.IssueDRAMPrefetch(core, paddr, vline, mem.Property, t, m.cfg.FillL1)
+	m.inflight = append(m.inflight, done)
+	m.stats.IssuedToDRAM++
+}

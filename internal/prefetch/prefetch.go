@@ -1,0 +1,64 @@
+// Package prefetch implements every prefetcher the paper evaluates
+// (Table V): the conventional FDP-style L2 streamer, the GHB G/DC delta
+// correlation prefetcher, VLDP, DROPLET's data-aware structure-only
+// streamer, and the memory-controller-based property prefetcher (MPP)
+// with its PAG / VAB / MTLB / PAB pipeline.
+//
+// L2-side prefetchers observe the L1-miss stream through OnAccess and
+// return prefetch candidates; the memory system executes them. The MPP
+// instead subscribes to DRAM refills at the memory controller and acts on
+// prefetched structure cachelines.
+package prefetch
+
+import "droplet/internal/mem"
+
+// AccessInfo describes one L1-miss request arriving at the L2 (the
+// snoop point of every L2 prefetcher), plus the L2 lookup outcome used as
+// training feedback.
+type AccessInfo struct {
+	Core  int
+	VAddr mem.Addr // line-aligned virtual address
+	PAddr mem.Addr // line-aligned physical address
+	DType mem.DataType
+	// StructureBit is the extra TLB bit of Fig. 9(b): set when the page
+	// belongs to a structure allocation.
+	StructureBit bool
+	L2Hit        bool
+	Write        bool
+	Now          int64
+}
+
+// Req is a prefetch candidate produced by an L2 prefetcher.
+type Req struct {
+	Core  int
+	VAddr mem.Addr // line-aligned virtual address
+	// CBit marks the request as an identified structure prefetch from the
+	// data-aware streamer; the MRB keeps it so the MPP can react to the
+	// refill (Section V-C1).
+	CBit bool
+	// ViaL3Queue routes the request directly into the L3 request queue
+	// (the data-aware streamer's fill path) instead of the L2 queue.
+	ViaL3Queue bool
+	// FillL1 additionally installs the line in the L1 (the monolithic
+	// monoDROPLETL1 arrangement).
+	FillL1 bool
+}
+
+// L2Prefetcher is the interface of all cache-side prefetchers.
+type L2Prefetcher interface {
+	// Name identifies the prefetcher in stats and experiment output.
+	Name() string
+	// OnAccess observes one L1 miss (plus L2 outcome) and returns any
+	// prefetch requests to issue now. The returned slice is only valid
+	// until the next call.
+	OnAccess(ev AccessInfo) []Req
+}
+
+// Nop is the no-prefetch baseline.
+type Nop struct{}
+
+// Name implements L2Prefetcher.
+func (Nop) Name() string { return "nopf" }
+
+// OnAccess implements L2Prefetcher.
+func (Nop) OnAccess(AccessInfo) []Req { return nil }

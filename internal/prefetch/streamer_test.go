@@ -1,0 +1,149 @@
+package prefetch
+
+import (
+	"testing"
+
+	"droplet/internal/mem"
+)
+
+func access(addr mem.Addr, structBit bool) AccessInfo {
+	return AccessInfo{VAddr: mem.LineAddr(addr), PAddr: mem.LineAddr(addr), StructureBit: structBit}
+}
+
+// drive feeds sequential line misses within one page and collects requests.
+func drive(s *Streamer, base mem.Addr, lines int, structBit bool) []Req {
+	var all []Req
+	for i := 0; i < lines; i++ {
+		all = append(all, s.OnAccess(access(base+mem.Addr(i*mem.LineSize), structBit))...)
+	}
+	return all
+}
+
+func TestStreamerDetectsAscendingStream(t *testing.T) {
+	s := NewStreamer(DefaultStreamerConfig())
+	reqs := drive(s, 0x10000, 6, false)
+	if len(reqs) == 0 {
+		t.Fatal("no prefetches after stream confirmation")
+	}
+	// First prefetch must be ahead of the last training access.
+	if reqs[0].VAddr <= 0x10000+2*mem.LineSize {
+		t.Errorf("first prefetch %#x not ahead of stream", reqs[0].VAddr)
+	}
+	for _, r := range reqs {
+		if r.CBit || r.ViaL3Queue {
+			t.Error("conventional streamer must not set CBit/ViaL3Queue")
+		}
+		if r.VAddr>>mem.PageShift != 0x10000>>mem.PageShift {
+			t.Errorf("prefetch %#x crossed page boundary", r.VAddr)
+		}
+	}
+}
+
+func TestStreamerDescendingStream(t *testing.T) {
+	s := NewStreamer(DefaultStreamerConfig())
+	base := mem.Addr(0x20000 + 40*mem.LineSize)
+	var all []Req
+	for i := 0; i < 6; i++ {
+		all = append(all, s.OnAccess(access(base-mem.Addr(i*mem.LineSize), false))...)
+	}
+	if len(all) == 0 {
+		t.Fatal("descending stream not detected")
+	}
+	if all[0].VAddr >= base {
+		t.Errorf("descending prefetch %#x not below base %#x", all[0].VAddr, base)
+	}
+}
+
+func TestStreamerNeedsConfirmation(t *testing.T) {
+	s := NewStreamer(DefaultStreamerConfig())
+	if r := s.OnAccess(access(0x30000, false)); len(r) != 0 {
+		t.Error("prefetch after a single miss")
+	}
+	if r := s.OnAccess(access(0x30040, false)); len(r) != 0 {
+		t.Error("prefetch after only one direction sample")
+	}
+}
+
+func TestStreamerStopsAtPageBoundary(t *testing.T) {
+	cfg := DefaultStreamerConfig()
+	cfg.Degree = 64
+	cfg.Distance = 63
+	s := NewStreamer(cfg)
+	// Train near the end of the page.
+	base := mem.Addr(0x40000 + 58*mem.LineSize)
+	reqs := drive(s, base, 6, false)
+	for _, r := range reqs {
+		if r.VAddr>>mem.PageShift != base>>mem.PageShift {
+			t.Fatalf("prefetch %#x escaped the page", r.VAddr)
+		}
+	}
+}
+
+func TestDataAwareStreamerFiltersNonStructure(t *testing.T) {
+	cfg := DefaultStreamerConfig()
+	cfg.DataAware = true
+	s := NewStreamer(cfg)
+	if reqs := drive(s, 0x50000, 8, false); len(reqs) != 0 {
+		t.Fatal("data-aware streamer trained on non-structure accesses")
+	}
+	if s.RejectedNonStructure == 0 {
+		t.Error("rejections not counted")
+	}
+	reqs := drive(s, 0x60000, 6, true)
+	if len(reqs) == 0 {
+		t.Fatal("data-aware streamer ignored structure stream")
+	}
+	for _, r := range reqs {
+		if !r.CBit || !r.ViaL3Queue {
+			t.Error("data-aware requests must set CBit and use the L3 queue")
+		}
+	}
+}
+
+func TestStreamerTrackerReplacement(t *testing.T) {
+	cfg := DefaultStreamerConfig()
+	cfg.Streams = 2
+	s := NewStreamer(cfg)
+	// Touch three pages; the first tracker must be recycled.
+	s.OnAccess(access(0x1000_0000, false))
+	s.OnAccess(access(0x2000_0000, false))
+	s.OnAccess(access(0x3000_0000, false))
+	if s.Allocations != 3 {
+		t.Errorf("allocations = %d, want 3", s.Allocations)
+	}
+	if s.find(0x1000_0000>>mem.PageShift) != nil {
+		t.Error("LRU tracker not evicted")
+	}
+}
+
+func TestStreamerDirectionRestart(t *testing.T) {
+	s := NewStreamer(DefaultStreamerConfig())
+	s.OnAccess(access(0x70000+4*mem.LineSize, false))
+	s.OnAccess(access(0x70000+5*mem.LineSize, false)) // dir=+1
+	s.OnAccess(access(0x70000+2*mem.LineSize, false)) // contradicts
+	// After contradiction, two more confirms are needed again.
+	if r := s.OnAccess(access(0x70000+3*mem.LineSize, false)); len(r) != 0 {
+		t.Error("prefetched before re-confirmation")
+	}
+	got := s.OnAccess(access(0x70000+4*mem.LineSize, false))
+	if len(got) == 0 {
+		t.Error("stream not re-established after restart")
+	}
+}
+
+func TestStreamerActiveTrackers(t *testing.T) {
+	s := NewStreamer(DefaultStreamerConfig())
+	drive(s, 0x90000, 5, false)
+	if s.ActiveTrackers() != 1 {
+		t.Errorf("active trackers = %d, want 1", s.ActiveTrackers())
+	}
+}
+
+func TestStreamerInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero streams")
+		}
+	}()
+	NewStreamer(StreamerConfig{})
+}

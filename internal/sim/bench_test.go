@@ -1,0 +1,37 @@
+package sim
+
+import (
+	"testing"
+
+	"droplet/internal/core"
+	"droplet/internal/graph"
+	"droplet/internal/trace"
+)
+
+// BenchmarkSimulate measures raw simulation throughput (events/op shows
+// in ns/op): PR on a scale-12 kron graph under DROPLET.
+func BenchmarkSimulate(b *testing.B) {
+	g, err := graph.Kron(12, 16, graph.GenOptions{Seed: 1, Symmetrize: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, _ := trace.PageRank(g, g.Transpose(), trace.Options{Cores: 4, PRIters: 2})
+	cfg := DefaultConfig()
+	cfg.L1.SizeBytes = 2 << 10
+	cfg.L2.SizeBytes = 16 << 10
+	cfg.LLC.SizeBytes = 32 << 10
+
+	for _, kind := range []core.PrefetcherKind{core.NoPrefetch, core.Stream, core.DROPLET} {
+		b.Run(kind.String(), func(b *testing.B) {
+			c := cfg
+			c.Prefetcher = kind
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(tr, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(tr.Events()), "events/run")
+		})
+	}
+}

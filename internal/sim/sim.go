@@ -1,0 +1,295 @@
+// Package sim assembles the full simulated machine — N out-of-order cores
+// with private L1/L2, a shared inclusive LLC, one memory controller, DRAM,
+// and an optional prefetch configuration — and drives a multi-core trace
+// through it, interleaving cores in local-time order and honoring the
+// trace's barrier synchronization.
+package sim
+
+import (
+	"fmt"
+
+	"droplet/internal/cache"
+	"droplet/internal/core"
+	"droplet/internal/cpu"
+	"droplet/internal/dram"
+	"droplet/internal/mem"
+	"droplet/internal/memsys"
+	"droplet/internal/trace"
+)
+
+// Config describes a complete machine.
+type Config struct {
+	Cores      int
+	CPU        cpu.Config
+	L1         cache.Config
+	L2         cache.Config
+	LLC        cache.Config
+	NoL2       bool
+	DRAM       dram.Config
+	Prefetcher core.PrefetcherKind
+	Prefetch   core.Options
+}
+
+// DefaultConfig returns the paper's Table I baseline: 4 cores, 128-entry
+// ROB, 32KB L1D, 256KB L2, 8MB 16-way LLC, DDR3 behind a single MC.
+func DefaultConfig() Config {
+	return Config{
+		Cores:    4,
+		CPU:      cpu.DefaultConfig(),
+		L1:       cache.Config{Name: "L1D", SizeBytes: 32 << 10, Assoc: 8, LatencyTag: 1, LatencyData: 4},
+		L2:       cache.Config{Name: "L2", SizeBytes: 256 << 10, Assoc: 8, LatencyTag: 3, LatencyData: 8},
+		LLC:      cache.Config{Name: "L3", SizeBytes: 8 << 20, Assoc: 16, LatencyTag: 10, LatencyData: 30},
+		DRAM:     dram.DefaultConfig(),
+		Prefetch: core.DefaultOptions(),
+	}
+}
+
+// ScaledConfig returns the baseline with caches scaled down by the given
+// power-of-two factor (same latencies). The experiment harness pairs it
+// with proportionally scaled graphs so every footprint-to-capacity ratio
+// of the paper is preserved at tractable simulation cost; see DESIGN.md.
+func ScaledConfig(shift uint) Config {
+	c := DefaultConfig()
+	c.L1.SizeBytes >>= shift
+	c.L2.SizeBytes >>= shift
+	c.LLC.SizeBytes >>= shift
+	if c.L1.SizeBytes < 1<<10 {
+		c.L1.SizeBytes = 1 << 10
+	}
+	if c.L2.SizeBytes < 4<<10 {
+		c.L2.SizeBytes = 4 << 10
+	}
+	if c.LLC.SizeBytes < 32<<10 {
+		c.LLC.SizeBytes = 32 << 10
+	}
+	return c
+}
+
+// memConfig lowers Config to the hierarchy's view.
+func (c Config) memConfig() memsys.Config {
+	return memsys.Config{
+		Cores: c.Cores,
+		L1:    c.L1,
+		L2:    c.L2,
+		LLC:   c.LLC,
+		NoL2:  c.NoL2,
+		DRAM:  c.DRAM,
+	}
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	Config       Config
+	Cycles       int64 // wall time: max over cores
+	Instructions int64 // instructions actually dispatched (MPKI/BPKI denominator)
+	CoreStats    []cpu.Stats
+	Hier         *memsys.Hierarchy
+	Attachment   *core.Attachment
+}
+
+// Run simulates tr on a machine built from cfg.
+func Run(tr *trace.Trace, cfg Config) (*Result, error) {
+	if cfg.Cores != tr.NumCores() {
+		return nil, fmt.Errorf("sim: machine has %d cores but trace has %d streams", cfg.Cores, tr.NumCores())
+	}
+	h, err := memsys.New(cfg.memConfig(), tr.Layout.AS)
+	if err != nil {
+		return nil, err
+	}
+	att, err := core.Attach(cfg.Prefetcher, h, tr.Layout, cfg.Prefetch)
+	if err != nil {
+		return nil, err
+	}
+
+	cores := make([]*cpu.Core, cfg.Cores)
+	for i := range cores {
+		cores[i] = cpu.NewCore(i, cfg.CPU, h, tr.PerCore[i])
+	}
+
+	// Event loop: always step the runnable core with the smallest local
+	// clock; when every unfinished core is parked at a barrier, release
+	// them together at the latest arrival time.
+	for {
+		var next *cpu.Core
+		var nextClock int64
+		allDone := true
+		for _, c := range cores {
+			if c.Done() {
+				continue
+			}
+			allDone = false
+			if c.AtBarrier() {
+				continue
+			}
+			if clk := c.Clock(); next == nil || clk < nextClock {
+				next = c
+				nextClock = clk
+			}
+		}
+		if allDone {
+			break
+		}
+		if next == nil {
+			// Barrier release.
+			var t int64
+			for _, c := range cores {
+				if clk := c.Clock(); clk > t {
+					t = clk
+				}
+			}
+			for _, c := range cores {
+				if c.AtBarrier() {
+					c.PassBarrier(t)
+				}
+			}
+			continue
+		}
+		next.Step()
+	}
+
+	res := &Result{
+		Config:     cfg,
+		CoreStats:  make([]cpu.Stats, cfg.Cores),
+		Hier:       h,
+		Attachment: att,
+	}
+	for i, c := range cores {
+		s := *c.Stats()
+		res.CoreStats[i] = s
+		if s.Cycles > res.Cycles {
+			res.Cycles = s.Cycles
+		}
+		res.Instructions += s.Instructions
+	}
+	return res, nil
+}
+
+// IPC returns aggregate instructions per cycle across all cores.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// Speedup returns base.Cycles / r.Cycles (Fig. 11's metric).
+func (r *Result) Speedup(base *Result) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(r.Cycles)
+}
+
+// LLCMPKI returns shared-LLC demand misses per kilo-instruction (Fig. 4a).
+func (r *Result) LLCMPKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Hier.LLC().Stats().TotalMisses()) / float64(r.Instructions) * 1000
+}
+
+// DemandMPKIByType returns LLC demand misses (DRAM-bound requests) per
+// kilo-instruction, split by data type (Fig. 13).
+func (r *Result) DemandMPKIByType() [mem.NumDataTypes]float64 {
+	var out [mem.NumDataTypes]float64
+	if r.Instructions == 0 {
+		return out
+	}
+	for dt, v := range r.Hier.Stats().LLCDemandMissesByType {
+		out[dt] = float64(v) / float64(r.Instructions) * 1000
+	}
+	return out
+}
+
+// BPKI returns DRAM bus accesses per kilo-instruction (Fig. 15).
+func (r *Result) BPKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Hier.MC().Stats().Accesses()) / float64(r.Instructions) * 1000
+}
+
+// BandwidthUtilization returns the DRAM channel busy fraction (Fig. 3a).
+func (r *Result) BandwidthUtilization() float64 {
+	return r.Hier.MC().BandwidthUtilization(r.Cycles)
+}
+
+// L2HitRate returns the aggregate private-L2 demand hit rate (Fig. 12).
+func (r *Result) L2HitRate() float64 { return r.Hier.L2HitRate() }
+
+// MLP returns the average outstanding DRAM loads across cores.
+func (r *Result) MLP() float64 {
+	var sum float64
+	for i := range r.CoreStats {
+		sum += r.CoreStats[i].MLP()
+	}
+	return sum
+}
+
+// CycleStack returns the fraction of wall cycles attributed to base
+// execution and to stalls on each hierarchy level (Fig. 1). Fractions are
+// averaged across cores.
+func (r *Result) CycleStack() (base float64, byLevel [memsys.NumLevels]float64) {
+	if r.Cycles == 0 {
+		return 0, byLevel
+	}
+	n := float64(len(r.CoreStats))
+	for i := range r.CoreStats {
+		s := &r.CoreStats[i]
+		total := float64(s.Cycles)
+		if total == 0 {
+			continue
+		}
+		base += float64(s.BaseCycles()) / total / n
+		for l := 0; l < memsys.NumLevels; l++ {
+			byLevel[l] += float64(s.StallByLevel[l]) / total / n
+		}
+	}
+	return base, byLevel
+}
+
+// PrefetchAccuracy returns useful/issued prefetches for data type dt
+// (Fig. 14). The second result is false when nothing was issued.
+func (r *Result) PrefetchAccuracy(dt mem.DataType) (float64, bool) {
+	issued := r.Hier.Stats().PrefetchIssuedByType[dt]
+	if issued == 0 {
+		return 0, false
+	}
+	useful := r.Hier.PrefetchUseful()[dt]
+	acc := float64(useful) / float64(issued)
+	if acc > 1 {
+		acc = 1 // late demand merges can slightly overcount usefulness
+	}
+	return acc, true
+}
+
+// ServicedFractions returns, per data type, the fraction of demand
+// accesses serviced by each level (Fig. 7).
+func (r *Result) ServicedFractions() [mem.NumDataTypes][memsys.NumLevels]float64 {
+	var out [mem.NumDataTypes][memsys.NumLevels]float64
+	st := r.Hier.Stats()
+	for dt := 0; dt < mem.NumDataTypes; dt++ {
+		var total uint64
+		for l := 0; l < memsys.NumLevels; l++ {
+			total += st.ServicedBy[l][dt]
+		}
+		if total == 0 {
+			continue
+		}
+		for l := 0; l < memsys.NumLevels; l++ {
+			out[dt][l] = float64(st.ServicedBy[l][dt]) / float64(total)
+		}
+	}
+	return out
+}
+
+// OffChipFractionByType returns the fraction of each data type's demand
+// accesses that were serviced by DRAM (Fig. 4c).
+func (r *Result) OffChipFractionByType() [mem.NumDataTypes]float64 {
+	var out [mem.NumDataTypes]float64
+	f := r.ServicedFractions()
+	for dt := 0; dt < mem.NumDataTypes; dt++ {
+		out[dt] = f[dt][memsys.LevelDRAM]
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"droplet/internal/mem"
+	"droplet/internal/memsys"
+)
+
+// Summary is a flat, JSON-friendly digest of a simulation result, for
+// scripting and archiving experiment outputs.
+type Summary struct {
+	Prefetcher   string  `json:"prefetcher"`
+	Cores        int     `json:"cores"`
+	Cycles       int64   `json:"cycles"`
+	Instructions int64   `json:"instructions"`
+	IPC          float64 `json:"ipc"`
+	LLCMPKI      float64 `json:"llc_mpki"`
+	BPKI         float64 `json:"bpki"`
+	BandwidthUtl float64 `json:"bandwidth_utilization"`
+	L2HitRate    float64 `json:"l2_hit_rate"`
+	MLP          float64 `json:"mlp"`
+
+	CycleStack struct {
+		Base float64 `json:"base"`
+		L1   float64 `json:"l1"`
+		L2   float64 `json:"l2"`
+		L3   float64 `json:"l3"`
+		DRAM float64 `json:"dram"`
+	} `json:"cycle_stack"`
+
+	// Per data type (intermediate, structure, property).
+	DemandMPKIByType map[string]float64 `json:"demand_mpki_by_type"`
+	OffChipByType    map[string]float64 `json:"offchip_fraction_by_type"`
+	PrefetchAccuracy map[string]float64 `json:"prefetch_accuracy_by_type,omitempty"`
+	PrefetchIssued   map[string]uint64  `json:"prefetch_issued_by_type,omitempty"`
+	MPPTriggers      uint64             `json:"mpp_triggers,omitempty"`
+	MPPCopiedFromLLC uint64             `json:"mpp_copied_from_llc,omitempty"`
+	MPPIssuedToDRAM  uint64             `json:"mpp_issued_to_dram,omitempty"`
+}
+
+// Summarize flattens the result into a Summary.
+func (r *Result) Summarize() Summary {
+	s := Summary{
+		Prefetcher:       r.Config.Prefetcher.String(),
+		Cores:            r.Config.Cores,
+		Cycles:           r.Cycles,
+		Instructions:     r.Instructions,
+		IPC:              r.IPC(),
+		LLCMPKI:          r.LLCMPKI(),
+		BPKI:             r.BPKI(),
+		BandwidthUtl:     r.BandwidthUtilization(),
+		L2HitRate:        r.L2HitRate(),
+		MLP:              r.MLP(),
+		DemandMPKIByType: make(map[string]float64, mem.NumDataTypes),
+		OffChipByType:    make(map[string]float64, mem.NumDataTypes),
+	}
+	base, byLevel := r.CycleStack()
+	s.CycleStack.Base = base
+	s.CycleStack.L1 = byLevel[memsys.LevelL1]
+	s.CycleStack.L2 = byLevel[memsys.LevelL2]
+	s.CycleStack.L3 = byLevel[memsys.LevelL3]
+	s.CycleStack.DRAM = byLevel[memsys.LevelDRAM]
+
+	mpki := r.DemandMPKIByType()
+	off := r.OffChipFractionByType()
+	for dt := 0; dt < mem.NumDataTypes; dt++ {
+		name := mem.DataType(dt).String()
+		s.DemandMPKIByType[name] = mpki[dt]
+		s.OffChipByType[name] = off[dt]
+		if acc, ok := r.PrefetchAccuracy(mem.DataType(dt)); ok {
+			if s.PrefetchAccuracy == nil {
+				s.PrefetchAccuracy = make(map[string]float64)
+				s.PrefetchIssued = make(map[string]uint64)
+			}
+			s.PrefetchAccuracy[name] = acc
+			s.PrefetchIssued[name] = r.Hier.Stats().PrefetchIssuedByType[dt]
+		}
+	}
+	if r.Attachment != nil && r.Attachment.MPP != nil {
+		st := r.Attachment.MPP.Stats()
+		s.MPPTriggers = st.Triggers
+		s.MPPCopiedFromLLC = st.CopiedFromLLC
+		s.MPPIssuedToDRAM = st.IssuedToDRAM
+	}
+	return s
+}

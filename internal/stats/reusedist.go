@@ -1,0 +1,243 @@
+// Package stats provides workload-analysis utilities that back the
+// paper's characterization claims, chiefly an exact LRU stack-distance
+// (reuse-distance) profiler split by data type. Observation #6 — graph
+// structure cachelines have the largest reuse distance, property lines a
+// distance beyond the L2's reach but partly within the LLC's — is a
+// statement about these distributions.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"droplet/internal/mem"
+	"droplet/internal/trace"
+)
+
+// ReuseProfiler computes exact LRU stack distances over a cacheline
+// stream: for each access, the number of *distinct* lines touched since
+// the previous access to the same line (∞ for cold misses). A fully
+// associative LRU cache of C lines hits exactly the accesses with
+// distance < C, so the distribution directly predicts which level of the
+// hierarchy can service each data type.
+//
+// The implementation is the classic Bennett–Kruskal algorithm: a Fenwick
+// tree over access timestamps counts distinct lines since last touch in
+// O(log n) per access.
+type ReuseProfiler struct {
+	lastAccess map[mem.Addr]int32 // line → timestamp of previous access
+	tree       []int32            // Fenwick tree over timestamps; 1 = line's latest access
+	time       int32
+	hist       Histogram
+}
+
+// Histogram is a power-of-two-bucketed reuse-distance distribution.
+// Bucket 0 counts distance 0; bucket i (i >= 1) counts distances in
+// [2^(i-1), 2^i). Cold counts first-touch accesses (infinite distance).
+type Histogram struct {
+	Buckets [34]uint64
+	Cold    uint64
+	Total   uint64
+}
+
+// Add records one distance.
+func (h *Histogram) Add(dist int32) {
+	h.Total++
+	if dist < 0 {
+		h.Cold++
+		return
+	}
+	h.Buckets[bucketOf(dist)]++
+}
+
+func bucketOf(dist int32) int {
+	b := 0
+	for d := dist; d > 0; d >>= 1 {
+		b++
+	}
+	return b
+}
+
+// lowerBound returns the smallest distance falling into bucket i.
+func lowerBound(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	return 1 << uint(i-1)
+}
+
+// FractionBeyond returns the fraction of all accesses whose reuse
+// distance is at least `lines` (cold misses count as beyond): the miss
+// rate of a fully associative LRU cache with that many lines. Exact for
+// power-of-two capacities, bucket-approximate otherwise.
+func (h *Histogram) FractionBeyond(lines int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.CountBeyond(lines)) / float64(h.Total)
+}
+
+// CountBeyond returns the number of accesses with distance >= lines
+// (cold misses included).
+func (h *Histogram) CountBeyond(lines int) uint64 {
+	beyond := h.Cold
+	for i, c := range h.Buckets {
+		if lowerBound(i) >= int64(lines) {
+			beyond += c
+		}
+	}
+	return beyond
+}
+
+// ConditionalFractionBeyond returns P(distance >= outer | distance >=
+// inner): among the accesses that would miss an inner-capacity cache
+// (e.g. the L1), the fraction that also misses an outer-capacity cache
+// (e.g. the LLC). This conditioning strips the spatial-burst hits that
+// dominate raw distances and is the paper's Observation #6 lens: a
+// structure line that misses the L1 almost always goes to DRAM, while a
+// property line that misses the L1 is often still within the LLC's reach.
+func (h *Histogram) ConditionalFractionBeyond(outer, inner int) float64 {
+	in := h.CountBeyond(inner)
+	if in == 0 {
+		return 0
+	}
+	return float64(h.CountBeyond(outer)) / float64(in)
+}
+
+// MedianDistance returns the bucket lower bound containing the median
+// finite distance, or -1 when no access had a finite distance.
+func (h *Histogram) MedianDistance() int64 {
+	finite := h.Total - h.Cold
+	if finite == 0 {
+		return -1
+	}
+	var cum uint64
+	for i, c := range h.Buckets {
+		cum += c
+		if cum*2 >= finite {
+			return lowerBound(i)
+		}
+	}
+	return math.MaxInt64
+}
+
+// NewReuseProfiler returns an empty profiler.
+func NewReuseProfiler() *ReuseProfiler {
+	return &ReuseProfiler{lastAccess: make(map[mem.Addr]int32)}
+}
+
+// Touch records an access to the line containing addr and returns its
+// stack distance (-1 for a cold miss).
+func (p *ReuseProfiler) Touch(addr mem.Addr) int32 {
+	line := mem.LineAddr(addr)
+	p.time++
+	// Grow the Fenwick tree (1-indexed over timestamps). A new interior
+	// node must be initialized with the sum of its covered range
+	// [j-lowbit(j)+1, j-1] (the j-th slot itself starts at 0).
+	j := p.time
+	low := j & (-j)
+	p.tree = append(p.tree, p.prefix(j-1)-p.prefix(j-low))
+
+	last, seen := p.lastAccess[line]
+	dist := int32(-1)
+	if seen {
+		// Distinct lines touched in (last, now) = lines whose latest
+		// access falls in that window = prefix(now-1) - prefix(last).
+		dist = p.prefix(p.time-1) - p.prefix(last)
+		p.update(last, -1)
+	}
+	p.update(p.time, 1)
+	p.lastAccess[line] = p.time
+	p.hist.Add(dist)
+	return dist
+}
+
+// Histogram returns the accumulated distribution.
+func (p *ReuseProfiler) Histogram() Histogram { return p.hist }
+
+func (p *ReuseProfiler) update(i int32, delta int32) {
+	for ; int(i) <= len(p.tree); i += i & (-i) {
+		p.tree[i-1] += delta
+	}
+}
+
+func (p *ReuseProfiler) prefix(i int32) int32 {
+	var s int32
+	for ; i > 0; i -= i & (-i) {
+		s += p.tree[i-1]
+	}
+	return s
+}
+
+// TypeProfile is the per-data-type reuse profile of a trace.
+type TypeProfile struct {
+	Hist [mem.NumDataTypes]Histogram
+}
+
+// ProfileTrace runs every core's loads through one shared profiler
+// (caches are shared at the LLC; interleaving round-robin approximates
+// the multicore reference stream) and splits the distribution by type.
+func ProfileTrace(t *trace.Trace) *TypeProfile {
+	p := NewReuseProfiler()
+	out := &TypeProfile{}
+	idx := make([]int, t.NumCores())
+	for {
+		done := true
+		for c, stream := range t.PerCore {
+			// Consume a small burst per core to emulate interleaving.
+			for n := 0; n < 16 && idx[c] < len(stream); n++ {
+				ev := stream[idx[c]]
+				idx[c]++
+				if ev.Kind != trace.KindLoad {
+					continue
+				}
+				d := p.Touch(ev.Addr)
+				out.Hist[ev.DType].Add(d)
+			}
+			if idx[c] < len(stream) {
+				done = false
+			}
+		}
+		if done {
+			return out
+		}
+	}
+}
+
+// Format renders per-type miss-rate predictions for the given cache line
+// counts (e.g. L1/L2/LLC line capacities).
+func (tp *TypeProfile) Format(lineCaps map[string]int) string {
+	var sb strings.Builder
+	sb.WriteString("reuse-distance profile (fraction of loads whose distance exceeds each capacity)\n")
+	fmt.Fprintf(&sb, "  %-14s %10s %10s", "type", "median", "cold")
+	names := make([]string, 0, len(lineCaps))
+	for name := range lineCaps {
+		names = append(names, name)
+	}
+	// Stable order: by capacity.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if lineCaps[names[j]] < lineCaps[names[i]] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	for _, n := range names {
+		fmt.Fprintf(&sb, " %10s", fmt.Sprintf(">%s", n))
+	}
+	sb.WriteByte('\n')
+	for dt := 0; dt < mem.NumDataTypes; dt++ {
+		h := tp.Hist[dt]
+		if h.Total == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "  %-14v %10d %9.1f%%", mem.DataType(dt), h.MedianDistance(),
+			float64(h.Cold)/float64(h.Total)*100)
+		for _, n := range names {
+			fmt.Fprintf(&sb, " %9.1f%%", h.FractionBeyond(lineCaps[n])*100)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

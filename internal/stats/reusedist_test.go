@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+
+	"droplet/internal/graph"
+	"droplet/internal/mem"
+	"droplet/internal/trace"
+)
+
+func TestReuseDistanceBasics(t *testing.T) {
+	p := NewReuseProfiler()
+	a := func(line int) mem.Addr { return mem.Addr(line) << mem.LineShift }
+
+	if d := p.Touch(a(1)); d != -1 {
+		t.Errorf("cold access distance = %d, want -1", d)
+	}
+	if d := p.Touch(a(1)); d != 0 {
+		t.Errorf("immediate reuse distance = %d, want 0", d)
+	}
+	p.Touch(a(2))
+	p.Touch(a(3))
+	// 1 was last touched before {2,3}: distance 2.
+	if d := p.Touch(a(1)); d != 2 {
+		t.Errorf("distance = %d, want 2", d)
+	}
+	// Repeated touches of the same line in between don't inflate the
+	// distinct-line count.
+	p.Touch(a(4))
+	p.Touch(a(4))
+	p.Touch(a(4))
+	if d := p.Touch(a(1)); d != 1 {
+		t.Errorf("distance = %d, want 1 (only line 4 between)", d)
+	}
+}
+
+func TestReuseDistanceSubLine(t *testing.T) {
+	p := NewReuseProfiler()
+	p.Touch(0x1000)
+	if d := p.Touch(0x1030); d != 0 {
+		t.Errorf("same-line offset distance = %d, want 0", d)
+	}
+}
+
+// naiveStackDistance is an O(n²) oracle.
+type naiveStack struct{ order []mem.Addr }
+
+func (s *naiveStack) touch(addr mem.Addr) int32 {
+	line := mem.LineAddr(addr)
+	for i, l := range s.order {
+		if l == line {
+			dist := int32(len(s.order) - 1 - i)
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			s.order = append(s.order, line)
+			return dist
+		}
+	}
+	s.order = append(s.order, line)
+	return -1
+}
+
+func TestPropReuseMatchesNaiveStack(t *testing.T) {
+	f := func(raw []uint8) bool {
+		p := NewReuseProfiler()
+		n := &naiveStack{}
+		for _, r := range raw {
+			addr := mem.Addr(r%32) << mem.LineShift
+			if p.Touch(addr) != n.touch(addr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramFractionBeyond(t *testing.T) {
+	var h Histogram
+	h.Add(-1) // cold
+	h.Add(0)
+	h.Add(1)
+	h.Add(100)
+	if got := h.FractionBeyond(1); got != 0.75 { // 1, 100, cold are >= 1
+		t.Errorf("FractionBeyond(1) = %v, want 0.75", got)
+	}
+	if got := h.FractionBeyond(1 << 20); got != 0.25 { // only cold
+		t.Errorf("FractionBeyond(big) = %v, want 0.25", got)
+	}
+	if h.MedianDistance() < 1 {
+		t.Errorf("median = %d", h.MedianDistance())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.FractionBeyond(1) != 0 {
+		t.Error("empty histogram fraction != 0")
+	}
+	if h.MedianDistance() != -1 {
+		t.Error("empty histogram median != -1")
+	}
+}
+
+func TestProfileTraceObservation6(t *testing.T) {
+	// PR over a kron graph: structure reuse distance must dwarf
+	// property's, and intermediate must be the most cacheable.
+	g, err := graph.Kron(11, 8, graph.GenOptions{Seed: 4, Symmetrize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := trace.PageRank(g, g.Transpose(), trace.Options{Cores: 4, PRIters: 2})
+	tp := ProfileTrace(tr)
+
+	// Raw distances are dominated by spatial bursts (16 IDs per line), so
+	// condition on missing an L1-sized window: of those, structure must
+	// escape an LLC-sized window far more often than property does.
+	const l1Lines, llcLines = 64, 2048
+	sCond := tp.Hist[mem.Structure].ConditionalFractionBeyond(llcLines, l1Lines)
+	pCond := tp.Hist[mem.Property].ConditionalFractionBeyond(llcLines, l1Lines)
+	if sCond <= pCond {
+		t.Errorf("structure beyond-LLC|L1-miss %.2f not above property %.2f", sCond, pCond)
+	}
+	if sCond < 0.5 {
+		t.Errorf("structure conditional beyond-LLC = %.2f, want dominant", sCond)
+	}
+	out := tp.Format(map[string]int{"L2": 256, "LLC": 4096})
+	if len(out) == 0 {
+		t.Error("empty format")
+	}
+}

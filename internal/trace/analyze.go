@@ -1,0 +1,138 @@
+package trace
+
+import "droplet/internal/mem"
+
+// DepStats summarizes the load-load dependency structure of a trace as
+// observed through a ROB window of a given size (Figs. 5 and 6).
+type DepStats struct {
+	ROBSize    int
+	TotalLoads int64
+
+	// ConsumerLoads have an older in-window load producing their address;
+	// ProducerLoads feed at least one in-window younger load. A load can
+	// be both (the middle of a chain). InChain counts loads in either
+	// role once.
+	ConsumerLoads int64
+	ProducerLoads int64
+	InChain       int64
+
+	// Chains is the number of maximal dependency chains; ChainLoads the
+	// loads they contain. AvgChainLen is ChainLoads/Chains.
+	Chains      int64
+	ChainLoads  int64
+	AvgChainLen float64
+
+	// Per data type: total loads, loads acting as consumer, loads acting
+	// as producer.
+	LoadsByType    [mem.NumDataTypes]int64
+	ConsumerByType [mem.NumDataTypes]int64
+	ProducerByType [mem.NumDataTypes]int64
+}
+
+// InChainFraction returns the fraction of loads participating in a
+// dependency chain (the paper reports 43.2% on average).
+func (s DepStats) InChainFraction() float64 {
+	if s.TotalLoads == 0 {
+		return 0
+	}
+	return float64(s.InChain) / float64(s.TotalLoads)
+}
+
+// ConsumerFraction returns the fraction of loads of type t that consume a
+// producer load's value for their address.
+func (s DepStats) ConsumerFraction(t mem.DataType) float64 {
+	if s.LoadsByType[t] == 0 {
+		return 0
+	}
+	return float64(s.ConsumerByType[t]) / float64(s.LoadsByType[t])
+}
+
+// ProducerFraction returns the fraction of loads of type t that produce an
+// address for a younger load.
+func (s DepStats) ProducerFraction(t mem.DataType) float64 {
+	if s.LoadsByType[t] == 0 {
+		return 0
+	}
+	return float64(s.ProducerByType[t]) / float64(s.LoadsByType[t])
+}
+
+// AnalyzeDependencies walks every core's stream tracking, for each load,
+// whether its producer would still be in a ROB of robSize entries when the
+// load dispatches (dependencies outside the window cannot constrain MLP).
+func AnalyzeDependencies(t *Trace, robSize int) DepStats {
+	s := DepStats{ROBSize: robSize}
+	for _, stream := range t.PerCore {
+		analyzeCore(stream, robSize, &s)
+	}
+	if s.Chains > 0 {
+		s.AvgChainLen = float64(s.ChainLoads) / float64(s.Chains)
+	}
+	return s
+}
+
+func analyzeCore(stream []Event, robSize int, s *DepStats) {
+	// instrIdx[i] is the instruction index of event i within this core.
+	instr := int64(0)
+	instrIdx := make([]int64, len(stream))
+	for i, ev := range stream {
+		instr += int64(ev.Comp)
+		if ev.Kind != KindBarrier {
+			instr++
+		}
+		instrIdx[i] = instr
+	}
+
+	isProducer := make([]bool, len(stream))
+	isConsumer := make([]bool, len(stream))
+	chainLen := make([]int32, len(stream)) // loads in the chain ending at i
+
+	for i, ev := range stream {
+		if ev.Kind != KindLoad {
+			continue
+		}
+		s.TotalLoads++
+		s.LoadsByType[ev.DType]++
+		chainLen[i] = 1
+		d := ev.Dep
+		if d < 0 || int(d) >= i {
+			continue
+		}
+		if stream[d].Kind != KindLoad {
+			continue
+		}
+		// The dependency only matters if the producer can still be
+		// in flight when the consumer dispatches: both inside one
+		// ROB window.
+		if instrIdx[i]-instrIdx[d] >= int64(robSize) {
+			continue
+		}
+		isConsumer[i] = true
+		if !isProducer[d] {
+			isProducer[d] = true
+		}
+		chainLen[i] = chainLen[d] + 1
+	}
+
+	for i, ev := range stream {
+		if ev.Kind != KindLoad {
+			continue
+		}
+		prod, cons := isProducer[i], isConsumer[i]
+		if prod {
+			s.ProducerLoads++
+			s.ProducerByType[ev.DType]++
+		}
+		if cons {
+			s.ConsumerLoads++
+			s.ConsumerByType[ev.DType]++
+		}
+		if prod || cons {
+			s.InChain++
+		}
+		// A chain ends at a load that consumes but produces nothing.
+		if cons && !prod {
+			s.Chains++
+			s.ChainLoads += int64(chainLen[i])
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"testing"
+
+	"droplet/internal/graph"
+)
+
+func benchGraph(b *testing.B) (*graph.CSR, *graph.CSR) {
+	b.Helper()
+	g, err := graph.Kron(12, 16, graph.GenOptions{Seed: 1, Symmetrize: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, g.Transpose()
+}
+
+func BenchmarkGeneratePageRankTrace(b *testing.B) {
+	g, tr := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, _ := PageRank(g, tr, Options{Cores: 4, PRIters: 2})
+		if t.Events() == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+func BenchmarkGenerateBFSTrace(b *testing.B) {
+	g, _ := benchGraph(b)
+	src := graph.LargestComponentSource(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, _ := BFS(g, src, Options{Cores: 4})
+		if t.Events() == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+func BenchmarkAnalyzeDependencies(b *testing.B) {
+	g, tr := benchGraph(b)
+	t, _ := PageRank(g, tr, Options{Cores: 4, PRIters: 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AnalyzeDependencies(t, 128)
+	}
+}

@@ -1,0 +1,164 @@
+// Package trace turns the GAP kernels into data-type-tagged memory event
+// streams. Each instrumented kernel runs the same logic as its reference
+// twin in internal/algo while emitting, per simulated core, the loads and
+// stores the compiled kernel would execute — tagged with the data type of
+// the touched region and linked to the older load (if any) that produced
+// the address. Those producer links are the load-load dependency chains of
+// Observations #2/#3, and the type tags drive every data-aware experiment.
+package trace
+
+import "droplet/internal/mem"
+
+// Kind discriminates events.
+type Kind uint8
+
+const (
+	// KindLoad is a memory read preceded by Comp compute instructions.
+	KindLoad Kind = iota
+	// KindStore is a memory write preceded by Comp compute instructions.
+	KindStore
+	// KindBarrier is a global synchronization point (end of a parallel
+	// region); every core's stream carries one at the same position.
+	KindBarrier
+)
+
+// NoDep marks a load whose address comes from register-resident values.
+const NoDep int32 = -1
+
+// Event is one memory instruction (or barrier) in a core's stream.
+// Comp counts the compute instructions dispatched since the previous
+// event; they model the kernel's arithmetic without storing one event
+// per instruction.
+type Event struct {
+	Addr  mem.Addr     // virtual byte address
+	Dep   int32        // index of the producer load in this core's stream, or NoDep
+	Comp  uint16       // compute instructions preceding this one
+	Kind  Kind         //
+	DType mem.DataType // data type of Addr's region
+}
+
+// Trace is a complete multi-core event trace plus the address-space layout
+// it was generated against.
+type Trace struct {
+	Layout  *Layout
+	PerCore [][]Event
+	// Instructions is the total instruction count across cores, including
+	// compute instructions not stored as events (the MPKI denominator).
+	Instructions int64
+	// Truncated reports that the event budget was reached and the tail of
+	// the execution is not in the trace (the simulated ROI ended).
+	Truncated bool
+}
+
+// NumCores returns the number of per-core streams.
+func (t *Trace) NumCores() int { return len(t.PerCore) }
+
+// Events returns the total number of stored events.
+func (t *Trace) Events() int64 {
+	var n int64
+	for _, s := range t.PerCore {
+		n += int64(len(s))
+	}
+	return n
+}
+
+// Builder accumulates per-core event streams during kernel execution.
+type Builder struct {
+	layout  *Layout
+	cores   [][]Event
+	pending []uint16 // compute instructions awaiting the next event, per core
+	insts   int64
+	budget  int64 // max stored events; <= 0 means unlimited
+	stored  int64
+	trunc   bool
+}
+
+// NewBuilder returns a builder for numCores streams with the given total
+// event budget (<= 0 for unlimited).
+func NewBuilder(layout *Layout, numCores int, budget int64) *Builder {
+	if numCores < 1 {
+		panic("trace: need at least one core")
+	}
+	return &Builder{
+		layout:  layout,
+		cores:   make([][]Event, numCores),
+		pending: make([]uint16, numCores),
+		budget:  budget,
+	}
+}
+
+// Done reports whether the event budget has been exhausted; kernels keep
+// computing (so results stay exact) but stop emitting.
+func (b *Builder) Done() bool { return b.trunc }
+
+// Compute dispatches n compute instructions on core c.
+func (b *Builder) Compute(c, n int) {
+	b.insts += int64(n)
+	if b.trunc {
+		return
+	}
+	if s := int(b.pending[c]) + n; s < 0xffff {
+		b.pending[c] = uint16(s)
+	} else {
+		b.pending[c] = 0xffff
+	}
+}
+
+// Load emits a load on core c and returns its index in the core's stream
+// for use as a later Dep. dep is the producer load's index or NoDep.
+// After the budget is exhausted the load is counted but not stored, and
+// NoDep is returned.
+func (b *Builder) Load(c int, addr mem.Addr, dt mem.DataType, dep int32) int32 {
+	b.insts++
+	if !b.push(c, Event{Addr: addr, Dep: dep, Comp: b.take(c), Kind: KindLoad, DType: dt}) {
+		return NoDep
+	}
+	return int32(len(b.cores[c]) - 1)
+}
+
+// Store emits a store on core c. dep is the load producing the store
+// address, or NoDep.
+func (b *Builder) Store(c int, addr mem.Addr, dt mem.DataType, dep int32) {
+	b.insts++
+	b.push(c, Event{Addr: addr, Dep: dep, Comp: b.take(c), Kind: KindStore, DType: dt})
+}
+
+// Barrier emits a synchronization point into every core's stream.
+func (b *Builder) Barrier() {
+	if b.trunc {
+		return
+	}
+	for c := range b.cores {
+		b.cores[c] = append(b.cores[c], Event{Dep: NoDep, Comp: b.take(c), Kind: KindBarrier})
+		b.stored++
+	}
+}
+
+func (b *Builder) take(c int) uint16 {
+	p := b.pending[c]
+	b.pending[c] = 0
+	return p
+}
+
+func (b *Builder) push(c int, ev Event) bool {
+	if b.trunc {
+		return false
+	}
+	if b.budget > 0 && b.stored >= b.budget {
+		b.trunc = true
+		return false
+	}
+	b.cores[c] = append(b.cores[c], ev)
+	b.stored++
+	return true
+}
+
+// Build finalizes the trace.
+func (b *Builder) Build() *Trace {
+	return &Trace{
+		Layout:       b.layout,
+		PerCore:      b.cores,
+		Instructions: b.insts,
+		Truncated:    b.trunc,
+	}
+}

@@ -1,0 +1,284 @@
+// Package workload is the benchmark registry: the five GAP algorithms of
+// Table II, synthetic proxies for the five datasets of Table III, and
+// trace generation for every algorithm × dataset pair, at two scales
+// (Quick for tests/benches, Full for the experiment harness — see the
+// substitution notes in DESIGN.md).
+package workload
+
+import (
+	"fmt"
+	"sync"
+
+	"droplet/internal/graph"
+	"droplet/internal/trace"
+)
+
+// Algorithm identifies a GAP kernel (Table II), in the paper's figure
+// order.
+type Algorithm int
+
+// The five GAP kernels.
+const (
+	BC Algorithm = iota
+	BFS
+	PR
+	SSSP
+	CC
+)
+
+// AllAlgorithms lists the kernels in presentation order.
+var AllAlgorithms = []Algorithm{BC, BFS, PR, SSSP, CC}
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case BC:
+		return "BC"
+	case BFS:
+		return "BFS"
+	case PR:
+		return "PR"
+	case SSSP:
+		return "SSSP"
+	case CC:
+		return "CC"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Description returns the Table II description.
+func (a Algorithm) Description() string {
+	switch a {
+	case BC:
+		return "Measure the centrality of a vertex (shortest paths through it)"
+	case BFS:
+		return "Traverse a graph level by level"
+	case PR:
+		return "Rank each vertex on the basis of the ranks of its neighbors"
+	case SSSP:
+		return "Find the minimum cost path from a source vertex to all others"
+	case CC:
+		return "Decompose the graph into a set of connected subgraphs"
+	default:
+		return ""
+	}
+}
+
+// Weighted reports whether the kernel needs edge weights.
+func (a Algorithm) Weighted() bool { return a == SSSP }
+
+// Scale selects workload sizing. Quick keeps test/bench runtime low;
+// Full is the experiment harness default. Both preserve the paper's
+// footprint-to-capacity ratios against the matching Machine config.
+type Scale int
+
+// Workload scales.
+const (
+	Quick Scale = iota
+	Full
+)
+
+// String implements fmt.Stringer.
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// MaxEvents returns the trace budget (the simulated ROI) for the scale.
+func (s Scale) MaxEvents() int64 {
+	if s == Full {
+		return 12_000_000
+	}
+	return 1_200_000
+}
+
+// Dataset is one Table III graph proxy.
+type Dataset struct {
+	Name string
+	// Kind describes the proxy (synthetic / social network / mesh).
+	Kind string
+	// Paper records the original dataset's vertex/edge counts for
+	// documentation.
+	Paper string
+	// Build generates the proxy at the given scale.
+	Build func(sc Scale, weighted bool) (*graph.CSR, error)
+}
+
+// Datasets lists the five Table III proxies in paper order.
+var Datasets = []Dataset{
+	{
+		Name:  "kron",
+		Kind:  "synthetic",
+		Paper: "16.8M vertices, 260M edges",
+		Build: func(sc Scale, weighted bool) (*graph.CSR, error) {
+			scale := 14
+			if sc == Full {
+				scale = 17
+			}
+			return graph.Kron(scale, 16, graph.GenOptions{Seed: xk(1), Weighted: weighted, Symmetrize: true})
+		},
+	},
+	{
+		Name:  "urand",
+		Kind:  "synthetic",
+		Paper: "8.4M vertices, 134M edges",
+		Build: func(sc Scale, weighted bool) (*graph.CSR, error) {
+			scale := 14
+			if sc == Full {
+				scale = 17
+			}
+			return graph.Uniform(scale, 16, graph.GenOptions{Seed: xk(2), Weighted: weighted, Symmetrize: true})
+		},
+	},
+	{
+		Name:  "orkut",
+		Kind:  "social network",
+		Paper: "3M vertices, 117M edges",
+		Build: func(sc Scale, weighted bool) (*graph.CSR, error) {
+			scale := 13
+			if sc == Full {
+				scale = 16
+			}
+			return graph.SocialNetwork(scale, 32, graph.GenOptions{Seed: xk(3), Weighted: weighted, Symmetrize: true})
+		},
+	},
+	{
+		Name:  "livejournal",
+		Kind:  "social network",
+		Paper: "4.8M vertices, 68.5M edges",
+		Build: func(sc Scale, weighted bool) (*graph.CSR, error) {
+			scale := 14
+			if sc == Full {
+				scale = 17
+			}
+			return graph.SocialNetwork(scale, 14, graph.GenOptions{Seed: xk(4), Weighted: weighted, Symmetrize: true})
+		},
+	},
+	{
+		Name:  "road",
+		Kind:  "mesh network",
+		Paper: "23.9M vertices, 57.7M edges",
+		Build: func(sc Scale, weighted bool) (*graph.CSR, error) {
+			side := 128
+			if sc == Full {
+				side = 360
+			}
+			return graph.Grid(side, side, graph.GenOptions{Seed: xk(5), Weighted: weighted})
+		},
+	},
+}
+
+// xk derives distinct generator seeds.
+func xk(i uint64) uint64 { return 0xd09_137 + i*0x9e3779b97f4a7c15 }
+
+// DatasetByName finds a registered dataset.
+func DatasetByName(name string) (Dataset, error) {
+	for _, d := range Datasets {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("workload: unknown dataset %q", name)
+}
+
+// Benchmark is one algorithm × dataset pair.
+type Benchmark struct {
+	Algo    Algorithm
+	Dataset string
+}
+
+// String implements fmt.Stringer ("PR-orkut").
+func (b Benchmark) String() string { return fmt.Sprintf("%v-%s", b.Algo, b.Dataset) }
+
+// AllBenchmarks returns the full 5×5 matrix in paper order.
+func AllBenchmarks() []Benchmark {
+	var out []Benchmark
+	for _, a := range AllAlgorithms {
+		for _, d := range Datasets {
+			out = append(out, Benchmark{Algo: a, Dataset: d.Name})
+		}
+	}
+	return out
+}
+
+// graphCache memoizes generated graphs (and transposes) across the many
+// benchmark runs of the experiment harness.
+var graphCache = struct {
+	sync.Mutex
+	graphs     map[string]*graph.CSR
+	transposes map[*graph.CSR]*graph.CSR
+}{
+	graphs:     make(map[string]*graph.CSR),
+	transposes: make(map[*graph.CSR]*graph.CSR),
+}
+
+// Graph returns the (cached) proxy graph for the dataset at scale.
+func Graph(dataset string, sc Scale, weighted bool) (*graph.CSR, error) {
+	d, err := DatasetByName(dataset)
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("%s/%v/%v", dataset, sc, weighted)
+	graphCache.Lock()
+	defer graphCache.Unlock()
+	if g, ok := graphCache.graphs[key]; ok {
+		return g, nil
+	}
+	g, err := d.Build(sc, weighted)
+	if err != nil {
+		return nil, err
+	}
+	graphCache.graphs[key] = g
+	return g, nil
+}
+
+func transposeOf(g *graph.CSR) *graph.CSR {
+	graphCache.Lock()
+	defer graphCache.Unlock()
+	if t, ok := graphCache.transposes[g]; ok {
+		return t
+	}
+	t := g.Transpose()
+	graphCache.transposes[g] = t
+	return t
+}
+
+// GenerateTrace builds the multi-core memory trace for benchmark b at the
+// given scale. Cores defaults to 4 when zero.
+func GenerateTrace(b Benchmark, sc Scale, cores int) (*trace.Trace, error) {
+	if cores == 0 {
+		cores = 4
+	}
+	g, err := Graph(b.Dataset, sc, b.Algo.Weighted())
+	if err != nil {
+		return nil, err
+	}
+	opt := trace.Options{Cores: cores, MaxEvents: sc.MaxEvents(), PRIters: 2}
+	src := graph.LargestComponentSource(g)
+	switch b.Algo {
+	case PR:
+		tr, _ := trace.PageRank(g, transposeOf(g), opt)
+		return tr, nil
+	case BFS:
+		tr, _ := trace.BFS(g, src, opt)
+		return tr, nil
+	case SSSP:
+		tr, _ := trace.SSSP(g, src, 0, opt)
+		return tr, nil
+	case CC:
+		tr, _ := trace.CC(g, opt)
+		return tr, nil
+	case BC:
+		sources := []uint32{src}
+		if n := g.NumVertices(); n > 1 {
+			sources = append(sources, uint32(n/2))
+		}
+		tr, _ := trace.BC(g, sources, opt)
+		return tr, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown algorithm %v", b.Algo)
+	}
+}

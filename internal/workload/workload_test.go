@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"testing"
+
+	"droplet/internal/graph"
+	"droplet/internal/mem"
+	"droplet/internal/trace"
+)
+
+func TestAlgorithmRegistry(t *testing.T) {
+	if len(AllAlgorithms) != 5 {
+		t.Fatalf("algorithms = %d, want 5", len(AllAlgorithms))
+	}
+	names := map[string]bool{}
+	for _, a := range AllAlgorithms {
+		if a.String() == "" || a.Description() == "" {
+			t.Errorf("algorithm %d incomplete", a)
+		}
+		names[a.String()] = true
+	}
+	for _, want := range []string{"BC", "BFS", "PR", "SSSP", "CC"} {
+		if !names[want] {
+			t.Errorf("missing algorithm %s", want)
+		}
+	}
+	if !SSSP.Weighted() || PR.Weighted() {
+		t.Error("weighted flags wrong")
+	}
+}
+
+func TestDatasetRegistry(t *testing.T) {
+	if len(Datasets) != 5 {
+		t.Fatalf("datasets = %d, want 5", len(Datasets))
+	}
+	for _, d := range Datasets {
+		if d.Name == "" || d.Kind == "" || d.Paper == "" || d.Build == nil {
+			t.Errorf("dataset %+v incomplete", d)
+		}
+	}
+	if _, err := DatasetByName("kron"); err != nil {
+		t.Error(err)
+	}
+	if _, err := DatasetByName("nope"); err == nil {
+		t.Error("bogus dataset resolved")
+	}
+}
+
+func TestDatasetShapes(t *testing.T) {
+	// Table III's character must survive in the proxies: kron and the
+	// social networks are skewed, urand balanced, road a low-degree mesh.
+	gini := func(name string) float64 {
+		g, err := Graph(name, Quick, false)
+		if err != nil {
+			t.Fatalf("Graph(%s): %v", name, err)
+		}
+		return graph.ComputeDegreeStats(g).Gini
+	}
+	if g := gini("kron"); g < 0.4 {
+		t.Errorf("kron gini = %.2f, want skewed", g)
+	}
+	if g := gini("orkut"); g < 0.3 {
+		t.Errorf("orkut gini = %.2f, want skewed", g)
+	}
+	if g := gini("urand"); g > 0.25 {
+		t.Errorf("urand gini = %.2f, want balanced", g)
+	}
+	road, err := Graph("road", Quick, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := graph.ComputeDegreeStats(road)
+	if st.Mean > 6 {
+		t.Errorf("road mean degree = %.1f, want mesh-like", st.Mean)
+	}
+}
+
+func TestGraphCaching(t *testing.T) {
+	g1, err := Graph("kron", Quick, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Graph("kron", Quick, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Error("same dataset request returned different graph objects")
+	}
+	gw, err := Graph("kron", Quick, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gw == g1 {
+		t.Error("weighted variant shared with unweighted")
+	}
+	if !gw.Weighted() {
+		t.Error("weighted graph not weighted")
+	}
+}
+
+func TestGenerateTraceAllBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark matrix in -short mode")
+	}
+	for _, b := range AllBenchmarks() {
+		tr, err := GenerateTrace(b, Quick, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		if tr.NumCores() != 4 {
+			t.Errorf("%s: cores = %d", b, tr.NumCores())
+		}
+		if tr.Events() == 0 {
+			t.Errorf("%s: empty trace", b)
+		}
+		if tr.Events() > Quick.MaxEvents()+8 {
+			t.Errorf("%s: %d events exceeds budget", b, tr.Events())
+		}
+		// Every trace must touch structure and property data.
+		var counts [mem.NumDataTypes]int
+		for _, stream := range tr.PerCore {
+			for _, ev := range stream {
+				if ev.Kind == trace.KindLoad {
+					counts[ev.DType]++
+				}
+			}
+		}
+		if counts[mem.Structure] == 0 || counts[mem.Property] == 0 {
+			t.Errorf("%s: load mix %v missing a data type", b, counts)
+		}
+	}
+}
+
+func TestBenchmarkMatrix(t *testing.T) {
+	all := AllBenchmarks()
+	if len(all) != 25 {
+		t.Fatalf("benchmarks = %d, want 25", len(all))
+	}
+	if all[0].String() != "BC-kron" {
+		t.Errorf("first benchmark = %s", all[0])
+	}
+	seen := map[string]bool{}
+	for _, b := range all {
+		if seen[b.String()] {
+			t.Errorf("duplicate benchmark %s", b)
+		}
+		seen[b.String()] = true
+	}
+}
+
+func TestScales(t *testing.T) {
+	if Quick.String() != "quick" || Full.String() != "full" {
+		t.Error("scale names wrong")
+	}
+	if Quick.MaxEvents() >= Full.MaxEvents() {
+		t.Error("quick budget should be below full")
+	}
+}
+
+func TestGenerateTraceUnknownDataset(t *testing.T) {
+	_, err := GenerateTrace(Benchmark{Algo: PR, Dataset: "nope"}, Quick, 0)
+	if err == nil {
+		t.Error("expected error for unknown dataset")
+	}
+}
