@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -23,6 +24,7 @@ func main() {
 		list    = flag.Bool("list", false, "list available experiments")
 		run     = flag.String("run", "", "experiment id (fig1..fig15, table1..table5) or 'all'")
 		scale   = flag.String("scale", "quick", "workload scale: quick or full")
+		jobs    = flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers (also bounds live traces; 1 = serial)")
 		verbose = flag.Bool("v", false, "print per-simulation progress")
 	)
 	flag.Parse()
@@ -48,7 +50,10 @@ func main() {
 	}
 
 	s := exp.NewSuite(sc)
+	s.Jobs = *jobs
 	if *verbose {
+		// The suite serializes Progress calls, so the sink is safe under
+		// -jobs > 1 (lines arrive in completion order).
 		s.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
 

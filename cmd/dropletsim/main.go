@@ -1,16 +1,21 @@
 // Command dropletsim runs one benchmark (algorithm × dataset) on one
-// machine/prefetcher configuration and prints the simulation statistics.
+// machine/prefetcher configuration and prints the simulation statistics,
+// or — with -matrix — regenerates experiment tables over the benchmark
+// matrix on the parallel scheduler.
 //
 // Usage:
 //
 //	dropletsim -algo PR -dataset orkut -prefetcher droplet -scale quick
+//	dropletsim -matrix fig3,fig4b -benchmarks PR-kron,BFS-road -jobs 4
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"droplet/internal/core"
@@ -25,46 +30,117 @@ import (
 
 func main() {
 	var (
-		algoName = flag.String("algo", "PR", "algorithm: BC, BFS, PR, SSSP, CC")
-		dataset  = flag.String("dataset", "kron", "dataset: kron, urand, orkut, livejournal, road")
-		pfName   = flag.String("prefetcher", "droplet", "prefetcher: nopf, ghb, vldp, stream, streamMPP1, droplet, monoDROPLETL1")
-		scale    = flag.String("scale", "quick", "workload scale: quick or full")
-		cores    = flag.Int("cores", 4, "number of simulated cores")
-		llcKB    = flag.Int("llc", 0, "override LLC size in KB (0 = scale default)")
-		graphEL  = flag.String("graphfile", "", "run on a custom edge-list graph instead of a registered dataset")
-		asJSON   = flag.Bool("json", false, "emit the result summary as JSON")
+		algoName   = flag.String("algo", "PR", "algorithm: BC, BFS, PR, SSSP, CC")
+		dataset    = flag.String("dataset", "kron", "dataset: kron, urand, orkut, livejournal, road")
+		pfName     = flag.String("prefetcher", "droplet", "prefetcher: nopf, ghb, vldp, stream, streamMPP1, droplet, monoDROPLETL1")
+		scale      = flag.String("scale", "quick", "workload scale: quick or full")
+		cores      = flag.Int("cores", 4, "number of simulated cores")
+		llcKB      = flag.Int("llc", 0, "override LLC size in KB (0 = scale default)")
+		graphEL    = flag.String("graphfile", "", "run on a custom edge-list graph instead of a registered dataset")
+		asJSON     = flag.Bool("json", false, "emit the result summary as JSON")
+		matrix     = flag.String("matrix", "", "run experiment tables (comma-separated ids or 'all') over the benchmark matrix instead of a single simulation")
+		benchmarks = flag.String("benchmarks", "", "restrict -matrix to comma-separated ALGO-dataset pairs (e.g. PR-kron,BFS-road)")
+		jobs       = flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers (also bounds live traces)")
+		verbose    = flag.Bool("v", false, "print per-simulation progress to stderr")
+		outPath    = flag.String("o", "", "write -matrix tables to this file instead of stdout")
 	)
 	flag.Parse()
 
+	if *matrix != "" {
+		if err := runMatrix(*matrix, *benchmarks, *scale, *jobs, *verbose, *outPath); err != nil {
+			fmt.Fprintln(os.Stderr, "dropletsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*algoName, *dataset, *pfName, *scale, *cores, *llcKB, *graphEL, *asJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "dropletsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(algoName, dataset, pfName, scaleName string, cores, llcKB int, graphEL string, asJSON bool) error {
-	var a workload.Algorithm
-	found := false
-	for _, cand := range workload.AllAlgorithms {
-		if strings.EqualFold(cand.String(), algoName) {
-			a = cand
-			found = true
+func parseScale(name string) (workload.Scale, error) {
+	switch name {
+	case "quick":
+		return workload.Quick, nil
+	case "full":
+		return workload.Full, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q", name)
+	}
+}
+
+// runMatrix regenerates the requested experiment tables on a suite with
+// the given parallelism. Table bytes are deterministic: results come out
+// of the suite cache in table order no matter how the scheduler
+// interleaved the simulations, so -jobs N output diffs clean against
+// -jobs 1 (the CI smoke job relies on this).
+func runMatrix(ids, benchList, scaleName string, jobs int, verbose bool, outPath string) error {
+	sc, err := parseScale(scaleName)
+	if err != nil {
+		return err
+	}
+	s := exp.NewSuite(sc)
+	s.Jobs = jobs
+	if benchList != "" {
+		for _, name := range strings.Split(benchList, ",") {
+			b, err := workload.ParseBenchmark(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			s.Benchmarks = append(s.Benchmarks, b)
 		}
 	}
-	if !found {
-		return fmt.Errorf("unknown algorithm %q", algoName)
+	if verbose {
+		// The suite serializes Progress calls, so writing straight to
+		// stderr is safe under -jobs > 1.
+		s.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	var out io.Writer = os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+
+	var exps []exp.Experiment
+	if ids == "all" {
+		exps = exp.Experiments
+	} else {
+		for _, id := range strings.Split(ids, ",") {
+			e, err := exp.ExperimentByID(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			exps = append(exps, e)
+		}
+	}
+	for _, e := range exps {
+		text, err := e.Run(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintln(out, text)
+	}
+	return nil
+}
+
+func run(algoName, dataset, pfName, scaleName string, cores, llcKB int, graphEL string, asJSON bool) error {
+	a, err := workload.ParseAlgorithm(algoName)
+	if err != nil {
+		return err
 	}
 	kind, err := core.ParseKind(pfName)
 	if err != nil {
 		return err
 	}
-	sc := workload.Quick
-	switch scaleName {
-	case "quick":
-	case "full":
-		sc = workload.Full
-	default:
-		return fmt.Errorf("unknown scale %q", scaleName)
+	sc, err := parseScale(scaleName)
+	if err != nil {
+		return err
 	}
 
 	var tr *trace.Trace

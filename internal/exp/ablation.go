@@ -51,6 +51,11 @@ func RunAblation(s *Suite) (*Ablation, error) {
 	if s.Benchmarks != nil {
 		benches = s.Benchmarks
 	}
+	err := s.Warm(kindRequests(benches, core.NoPrefetch, core.DROPLET,
+		core.DROPLETDemandTriggered, core.MonoDROPLETL1, core.StreamMPP1))
+	if err != nil {
+		return nil, err
+	}
 	for _, b := range benches {
 		base, err := s.Baseline(b)
 		if err != nil {

@@ -39,6 +39,11 @@ func RunAdaptive(s *Suite) (*Adaptive, error) {
 	if s.Benchmarks != nil {
 		benches = s.Benchmarks
 	}
+	err := s.Warm(kindRequests(benches, core.NoPrefetch, core.DROPLET,
+		core.StreamMPP1, core.DROPLETAdaptive))
+	if err != nil {
+		return nil, err
+	}
 	f := &Adaptive{}
 	for _, b := range benches {
 		base, err := s.Baseline(b)

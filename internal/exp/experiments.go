@@ -22,6 +22,27 @@ var fig12Kinds = []core.PrefetcherKind{
 	core.NoPrefetch, core.Stream, core.StreamMPP1, core.DROPLET,
 }
 
+// kindRequests enumerates the baseline-variant scheduler requests for
+// every benchmark × prefetcher pair.
+func kindRequests(benches []workload.Benchmark, kinds ...core.PrefetcherKind) []Request {
+	var reqs []Request
+	for _, b := range benches {
+		for _, k := range kinds {
+			reqs = append(reqs, Request{Bench: b, Kind: k})
+		}
+	}
+	return reqs
+}
+
+// analyzeRequests enumerates dependency-analysis requests for benches.
+func analyzeRequests(benches []workload.Benchmark, rob int) []Request {
+	var reqs []Request
+	for _, b := range benches {
+		reqs = append(reqs, Request{Bench: b, Analyze: true, ROBSize: rob})
+	}
+	return reqs
+}
+
 // ---------------------------------------------------------------- Fig. 1
 
 // Fig1 is the cycle stack of PageRank on the orkut proxy.
@@ -83,6 +104,13 @@ var rob4x = Variant{Name: "rob4x", Mutate: func(c *sim.Config) {
 
 // RunFig3 reproduces Fig. 3 over all benchmarks.
 func RunFig3(s *Suite) (*Fig3, error) {
+	var reqs []Request
+	for _, b := range s.benchmarks() {
+		reqs = append(reqs, Request{Bench: b}, Request{Bench: b, Variant: rob4x})
+	}
+	if err := s.Warm(reqs); err != nil {
+		return nil, err
+	}
 	f := &Fig3{}
 	var bwSum, spSum float64
 	for _, b := range s.benchmarks() {
@@ -167,6 +195,15 @@ type Fig4a struct {
 func RunFig4a(s *Suite) (*Fig4a, error) {
 	f := &Fig4a{}
 	benches := s.benchmarks()
+	var reqs []Request
+	for _, b := range benches {
+		for _, mult := range LLCMultipliers {
+			reqs = append(reqs, Request{Bench: b, Variant: llcVariant(mult)})
+		}
+	}
+	if err := s.Warm(reqs); err != nil {
+		return nil, err
+	}
 	n := float64(len(benches))
 	// Iterate benchmark-major so each trace is generated once.
 	type acc struct {
@@ -262,6 +299,15 @@ func RunFig4b(s *Suite) (*Fig4b, error) {
 
 	f := &Fig4b{}
 	benches := s.benchmarks()
+	var reqs []Request
+	for _, b := range benches {
+		for _, v := range variants {
+			reqs = append(reqs, Request{Bench: b, Variant: v})
+		}
+	}
+	if err := s.Warm(reqs); err != nil {
+		return nil, err
+	}
 	hitSums := make([]float64, len(variants))
 	speedups := make([][]float64, len(variants))
 	// Iterate benchmark-major so each trace is generated once.
@@ -321,6 +367,9 @@ type Fig5 struct {
 func RunFig5(s *Suite) (*Fig5, error) {
 	f := &Fig5{}
 	rob := Machine(s.Scale).CPU.ROBSize
+	if err := s.Warm(analyzeRequests(s.benchmarks(), rob)); err != nil {
+		return nil, err
+	}
 	for _, b := range s.benchmarks() {
 		st, err := s.Analyze(b, rob)
 		if err != nil {
@@ -364,6 +413,9 @@ func RunFig6(s *Suite) (*Fig6, error) {
 	f := &Fig6{}
 	rob := Machine(s.Scale).CPU.ROBSize
 	benches := s.benchmarks()
+	if err := s.Warm(analyzeRequests(benches, rob)); err != nil {
+		return nil, err
+	}
 	for _, b := range benches {
 		st, err := s.Analyze(b, rob)
 		if err != nil {
@@ -413,6 +465,9 @@ type Fig7 struct {
 func RunFig7(s *Suite) (*Fig7, error) {
 	f := &Fig7{}
 	benches := s.benchmarks()
+	if err := s.Warm(kindRequests(benches, core.NoPrefetch)); err != nil {
+		return nil, err
+	}
 	for _, b := range benches {
 		r, err := s.Baseline(b)
 		if err != nil {
@@ -468,6 +523,10 @@ type Fig11 struct {
 
 // RunFig11 reproduces Fig. 11a/11b.
 func RunFig11(s *Suite) (*Fig11, error) {
+	kinds := append([]core.PrefetcherKind{core.NoPrefetch}, fig11Kinds...)
+	if err := s.Warm(kindRequests(s.benchmarks(), kinds...)); err != nil {
+		return nil, err
+	}
 	f := &Fig11{Geomean: make(map[string]map[string]float64)}
 	perAlgo := make(map[string]map[string][]float64)
 	for _, b := range s.benchmarks() {
@@ -544,6 +603,9 @@ type Fig12 struct {
 // RunFig12 reproduces Fig. 12 (DROPLET turns the under-utilized L2 into a
 // high-hit-rate staging buffer).
 func RunFig12(s *Suite) (*Fig12, error) {
+	if err := s.Warm(kindRequests(s.benchmarks(), fig12Kinds...)); err != nil {
+		return nil, err
+	}
 	f := &Fig12{HitRate: make(map[string]map[string]float64)}
 	counts := make(map[string]int)
 	for _, b := range s.benchmarks() {
@@ -598,6 +660,9 @@ type Fig13 struct {
 
 // RunFig13 reproduces Fig. 13.
 func RunFig13(s *Suite) (*Fig13, error) {
+	if err := s.Warm(kindRequests(s.benchmarks(), fig12Kinds...)); err != nil {
+		return nil, err
+	}
 	f := &Fig13{MPKI: make(map[string]map[string][mem.NumDataTypes]float64)}
 	counts := make(map[string]int)
 	for _, b := range s.benchmarks() {
@@ -657,6 +722,9 @@ type Fig14 struct {
 // RunFig14 reproduces Fig. 14.
 func RunFig14(s *Suite) (*Fig14, error) {
 	kinds := []core.PrefetcherKind{core.Stream, core.StreamMPP1, core.DROPLET}
+	if err := s.Warm(kindRequests(s.benchmarks(), kinds...)); err != nil {
+		return nil, err
+	}
 	f := &Fig14{Accuracy: make(map[string]map[string][2]float64)}
 	counts := make(map[string]map[string][2]int)
 	for _, b := range s.benchmarks() {
@@ -724,6 +792,9 @@ type Fig15 struct {
 
 // RunFig15 reproduces Fig. 15 (paper: DROPLET adds 6.5%-19.9% bandwidth).
 func RunFig15(s *Suite) (*Fig15, error) {
+	if err := s.Warm(kindRequests(s.benchmarks(), fig12Kinds...)); err != nil {
+		return nil, err
+	}
 	f := &Fig15{BPKI: make(map[string]map[string]float64), Extra: make(map[string]float64)}
 	counts := make(map[string]int)
 	for _, b := range s.benchmarks() {

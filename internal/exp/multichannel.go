@@ -41,6 +41,17 @@ func RunMultiChannel(s *Suite) (*MultiChannel, error) {
 	if s.Benchmarks != nil {
 		benches = s.Benchmarks
 	}
+	var reqs []Request
+	for _, b := range benches {
+		for _, k := range []core.PrefetcherKind{core.NoPrefetch, core.DROPLET} {
+			reqs = append(reqs,
+				Request{Bench: b, Kind: k},
+				Request{Bench: b, Kind: k, Variant: twoChannels})
+		}
+	}
+	if err := s.Warm(reqs); err != nil {
+		return nil, err
+	}
 	f := &MultiChannel{}
 	for _, b := range benches {
 		base1, err := s.Baseline(b)

@@ -41,21 +41,27 @@ func RunReuseDist(s *Suite) (*ReuseDist, error) {
 	l2Lines := m.L2.SizeBytes / mem.LineSize
 	llcLines := m.LLC.SizeBytes / mem.LineSize
 
-	f := &ReuseDist{}
-	for _, b := range benches {
-		tr, err := workload.GenerateTrace(b, s.Scale, 0)
+	// Profiling is per-benchmark CPU-bound work, so it fans out on the
+	// suite's scheduler: traces come from the shared bounded cache and
+	// rows return in input order regardless of completion order.
+	rows, err := forEachBench(s, benches, func(b workload.Benchmark) (ReuseDistRow, error) {
+		tr, entry, err := s.acquireTrace(b)
 		if err != nil {
-			return nil, err
+			return ReuseDistRow{}, err
 		}
+		defer s.releaseTrace(entry)
 		tp := stats.ProfileTrace(tr)
 		row := ReuseDistRow{Bench: b}
 		for dt := 0; dt < mem.NumDataTypes; dt++ {
 			row.BeyondL2[dt] = tp.Hist[dt].ConditionalFractionBeyond(l2Lines, l1Lines)
 			row.BeyondLLC[dt] = tp.Hist[dt].ConditionalFractionBeyond(llcLines, l1Lines)
 		}
-		f.Rows = append(f.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return f, nil
+	return &ReuseDist{Rows: rows}, nil
 }
 
 // Format renders the profile as text.

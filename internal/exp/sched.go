@@ -1,0 +1,335 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"droplet/internal/core"
+	"droplet/internal/sim"
+	"droplet/internal/trace"
+	"droplet/internal/workload"
+)
+
+// Request names one schedulable unit of work: either a timing simulation
+// (the default) or a trace-level dependency analysis (Analyze=true).
+// The zero Kind/Variant is the no-prefetch baseline machine.
+type Request struct {
+	Bench   workload.Benchmark
+	Kind    core.PrefetcherKind
+	Variant Variant
+	// Analyze requests trace.AnalyzeDependencies with a ROBSize-entry
+	// window instead of a timing simulation.
+	Analyze bool
+	ROBSize int
+}
+
+// key is the singleflight/cache identity of the request. Variants are
+// identified by name, matching the historical result-cache key.
+func (r Request) key() string {
+	if r.Analyze {
+		return fmt.Sprintf("analyze/%s/rob%d", r.Bench, r.ROBSize)
+	}
+	return fmtKey(r.Bench, r.Kind, r.Variant.Name)
+}
+
+// flight is one in-progress or completed request execution. Completed
+// flights double as the suite's result cache.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// do returns the cached or freshly computed value for req, collapsing
+// concurrent duplicates onto one execution.
+func (s *Suite) do(req Request) (any, error) {
+	key := req.key()
+	s.mu.Lock()
+	if f, ok := s.flights[key]; ok {
+		s.mu.Unlock()
+		<-f.done
+		return f.val, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.mu.Unlock()
+
+	f.val, f.err = s.execute(req)
+	if f.err != nil {
+		// Failed flights are not cached: a later caller may retry (e.g.
+		// after a transient trace-generation failure).
+		s.mu.Lock()
+		delete(s.flights, key)
+		s.mu.Unlock()
+	}
+	close(f.done)
+	return f.val, f.err
+}
+
+// execute runs one request against its (shared, refcounted) trace.
+func (s *Suite) execute(req Request) (any, error) {
+	key := req.key()
+	tr, entry, err := s.acquireTrace(req.Bench)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", key, err)
+	}
+	defer s.releaseTrace(entry)
+
+	if req.Analyze {
+		st := trace.AnalyzeDependencies(tr, req.ROBSize)
+		s.progress(fmt.Sprintf("analyzed %-25s rob=%d", req.Bench, req.ROBSize))
+		return st, nil
+	}
+
+	cfg := Machine(s.Scale)
+	cfg.Prefetcher = req.Kind
+	if req.Variant.Mutate != nil {
+		req.Variant.Mutate(&cfg)
+	}
+	r, err := sim.Run(tr, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", key, err)
+	}
+	s.progress(fmt.Sprintf("ran %-28s %12d cycles", key, r.Cycles))
+	return r, nil
+}
+
+// progress serializes delivery to the optional Progress sink.
+func (s *Suite) progress(line string) {
+	if s.Progress == nil {
+		return
+	}
+	s.progressMu.Lock()
+	defer s.progressMu.Unlock()
+	s.Progress(line)
+}
+
+// ----------------------------------------------------------------- traces
+
+// traceEntry is one live (or generating) benchmark trace. refs counts
+// pinned users; entries with refs==0 stay cached until a new benchmark
+// needs their slot.
+type traceEntry struct {
+	refs  int
+	ready chan struct{}
+	tr    *trace.Trace
+	err   error
+}
+
+// acquireTrace pins the trace for b, generating it if absent. At most
+// jobs() traces exist at once; when the table is full the caller blocks
+// until an unpinned trace can be evicted. Every successful acquire must
+// be paired with a releaseTrace of the returned entry.
+func (s *Suite) acquireTrace(b workload.Benchmark) (*trace.Trace, *traceEntry, error) {
+	key := b.String()
+	limit := s.jobs()
+	s.traceMu.Lock()
+	for {
+		if e, ok := s.traces[key]; ok {
+			e.refs++
+			s.traceMu.Unlock()
+			<-e.ready
+			if e.err != nil {
+				s.releaseTrace(e)
+				return nil, nil, e.err
+			}
+			return e.tr, e, nil
+		}
+		if len(s.traces) < limit || s.evictIdleLocked() {
+			break
+		}
+		s.traceCond.Wait()
+	}
+	e := &traceEntry{refs: 1, ready: make(chan struct{})}
+	s.traces[key] = e
+	s.traceMu.Unlock()
+
+	e.tr, e.err = workload.GenerateTrace(b, s.Scale, 0)
+	close(e.ready)
+	if e.err != nil {
+		s.traceMu.Lock()
+		if cur, ok := s.traces[key]; ok && cur == e {
+			delete(s.traces, key)
+		}
+		e.refs--
+		s.traceCond.Broadcast()
+		s.traceMu.Unlock()
+		return nil, nil, e.err
+	}
+	return e.tr, e, nil
+}
+
+// releaseTrace unpins an acquired entry; fully idle traces stay cached
+// but become evictable when a new benchmark needs their slot.
+func (s *Suite) releaseTrace(e *traceEntry) {
+	s.traceMu.Lock()
+	e.refs--
+	if e.refs == 0 {
+		s.traceCond.Broadcast()
+	}
+	s.traceMu.Unlock()
+}
+
+// evictIdleLocked drops one unpinned trace to free a slot. Callers hold
+// traceMu.
+func (s *Suite) evictIdleLocked() bool {
+	for key, e := range s.traces {
+		if e.refs == 0 {
+			delete(s.traces, key)
+			return true
+		}
+	}
+	return false
+}
+
+// -------------------------------------------------------------- scheduler
+
+// benchGroup is one benchmark's slice of a Warm batch: all requests that
+// share a trace, processed by one worker.
+type benchGroup struct {
+	idx   int
+	bench workload.Benchmark
+	reqs  []Request
+}
+
+// Warm executes reqs on a benchmark-major worker pool of jobs() workers:
+// requests sharing a benchmark run on the same worker (one trace
+// generation, sequential sims), while distinct benchmarks fan out. The
+// first error cancels work not yet started and is returned; results land
+// in the suite cache for deterministic retrieval afterwards. Duplicate
+// keys are deduplicated, so warming is idempotent and free for
+// already-cached requests.
+func (s *Suite) Warm(reqs []Request) error {
+	var groups []*benchGroup
+	byBench := make(map[string]*benchGroup)
+	seen := make(map[string]bool)
+	for _, r := range reqs {
+		if seen[r.key()] {
+			continue
+		}
+		seen[r.key()] = true
+		bkey := r.Bench.String()
+		g, ok := byBench[bkey]
+		if !ok {
+			g = &benchGroup{idx: len(groups), bench: r.Bench}
+			byBench[bkey] = g
+			groups = append(groups, g)
+		}
+		g.reqs = append(g.reqs, r)
+	}
+	if len(groups) == 0 {
+		return nil
+	}
+
+	workers := s.jobs()
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	work := make(chan *benchGroup)
+	errs := make([]error, len(groups))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for g := range work {
+				if ctx.Err() != nil {
+					continue
+				}
+				if err := s.runGroup(ctx, g); err != nil {
+					errs[g.idx] = err
+					cancel()
+				}
+			}
+		}()
+	}
+	for _, g := range groups {
+		work <- g
+	}
+	close(work)
+	wg.Wait()
+
+	// Report the earliest failure in submission order, so the error a
+	// caller sees does not depend on completion timing.
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runGroup pins the group's trace once, then executes each request
+// through the singleflight cache (which reuses the pinned trace).
+func (s *Suite) runGroup(ctx context.Context, g *benchGroup) error {
+	_, entry, err := s.acquireTrace(g.bench)
+	if err != nil {
+		return fmt.Errorf("exp: %s: %w", g.bench, err)
+	}
+	defer s.releaseTrace(entry)
+	for _, req := range g.reqs {
+		if ctx.Err() != nil {
+			return nil
+		}
+		if _, err := s.do(req); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// forEachBench maps fn over benches on the scheduler's pool, preserving
+// input order in the returned slice. The first error cancels the
+// remaining work. It is the helper for experiment stages whose unit of
+// work is a whole benchmark (e.g. reuse-distance profiling).
+func forEachBench[T any](s *Suite, benches []workload.Benchmark, fn func(b workload.Benchmark) (T, error)) ([]T, error) {
+	out := make([]T, len(benches))
+	errs := make([]error, len(benches))
+	workers := s.jobs()
+	if workers > len(benches) {
+		workers = len(benches)
+	}
+	if workers == 0 {
+		return out, nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type item struct {
+		idx int
+		b   workload.Benchmark
+	}
+	work := make(chan item)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range work {
+				if ctx.Err() != nil {
+					continue
+				}
+				v, err := fn(it.b)
+				if err != nil {
+					errs[it.idx] = err
+					cancel()
+					continue
+				}
+				out[it.idx] = v
+			}
+		}()
+	}
+	for i, b := range benches {
+		work <- item{i, b}
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

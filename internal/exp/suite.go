@@ -8,6 +8,7 @@ package exp
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 
 	"droplet/internal/core"
@@ -43,69 +44,65 @@ func Machine(sc workload.Scale) sim.Config {
 	return cfg
 }
 
-// Suite lazily runs and caches simulations. It keeps at most one
-// benchmark's trace alive at a time, so experiments should iterate
-// benchmark-major (they do).
+// Suite lazily runs and caches simulations. All methods are safe for
+// concurrent use: duplicate requests for one (benchmark, prefetcher,
+// variant) key share a single sim.Run via per-key singleflight, and at
+// most Jobs benchmark traces are kept alive at once, so peak memory
+// scales with the parallelism rather than the matrix size (Jobs=1
+// reproduces the historical "one trace alive" discipline). Experiments
+// iterate benchmark-major and pre-warm the cache through the scheduler
+// (see sched.go), then read results back in deterministic table order.
 type Suite struct {
 	Scale workload.Scale
 	// Benchmarks restricts the benchmark matrix (nil means all 25 pairs);
 	// the CLI uses it for filtering and tests for speed.
 	Benchmarks []workload.Benchmark
+	// Jobs bounds the scheduler's worker count and the number of live
+	// traces. Zero or negative means runtime.NumCPU().
+	Jobs int
+	// Progress, when set, receives a line per completed simulation. Calls
+	// are serialized by the suite, so the sink needs no locking of its
+	// own; under parallelism lines arrive in completion order.
+	Progress   func(string)
+	progressMu sync.Mutex
 
-	mu       sync.Mutex
-	results  map[string]*sim.Result
-	curBench string
-	curTrace *trace.Trace
-	// Progress, when set, receives a line per completed simulation.
-	Progress func(string)
+	mu      sync.Mutex
+	flights map[string]*flight
+
+	traceMu   sync.Mutex
+	traceCond *sync.Cond
+	traces    map[string]*traceEntry
 }
 
-// NewSuite returns an empty suite at the given scale.
+// NewSuite returns an empty suite at the given scale with Jobs set to
+// runtime.NumCPU().
 func NewSuite(sc workload.Scale) *Suite {
-	return &Suite{Scale: sc, results: make(map[string]*sim.Result)}
+	s := &Suite{
+		Scale:   sc,
+		Jobs:    runtime.NumCPU(),
+		flights: make(map[string]*flight),
+		traces:  make(map[string]*traceEntry),
+	}
+	s.traceCond = sync.NewCond(&s.traceMu)
+	return s
 }
 
-func (s *Suite) traceFor(b workload.Benchmark) (*trace.Trace, error) {
-	key := b.String()
-	if s.curBench == key && s.curTrace != nil {
-		return s.curTrace, nil
+// jobs resolves the configured parallelism to a positive worker count.
+func (s *Suite) jobs() int {
+	if s.Jobs > 0 {
+		return s.Jobs
 	}
-	tr, err := workload.GenerateTrace(b, s.Scale, 0)
-	if err != nil {
-		return nil, err
-	}
-	s.curBench = key
-	s.curTrace = tr
-	return tr, nil
+	return runtime.NumCPU()
 }
 
 // Result runs (or returns the cached result of) benchmark b with
 // prefetcher kind on the baseline machine modified by variant.
 func (s *Suite) Result(b workload.Benchmark, kind core.PrefetcherKind, v Variant) (*sim.Result, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	key := fmt.Sprintf("%s/%v/%s", b, kind, v.Name)
-	if r, ok := s.results[key]; ok {
-		return r, nil
-	}
-	tr, err := s.traceFor(b)
+	val, err := s.do(Request{Bench: b, Kind: kind, Variant: v})
 	if err != nil {
 		return nil, err
 	}
-	cfg := Machine(s.Scale)
-	cfg.Prefetcher = kind
-	if v.Mutate != nil {
-		v.Mutate(&cfg)
-	}
-	r, err := sim.Run(tr, cfg)
-	if err != nil {
-		return nil, fmt.Errorf("exp: %s: %w", key, err)
-	}
-	s.results[key] = r
-	if s.Progress != nil {
-		s.Progress(fmt.Sprintf("ran %-28s %12d cycles", key, r.Cycles))
-	}
-	return r, nil
+	return val.(*sim.Result), nil
 }
 
 // benchmarks returns the suite's benchmark matrix.
@@ -138,15 +135,14 @@ func (s *Suite) Baseline(b workload.Benchmark) (*sim.Result, error) {
 }
 
 // Analyze returns trace-level dependency statistics for b (no timing
-// simulation; used by Figs. 5 and 6).
+// simulation; used by Figs. 5 and 6). It rides the same scheduler as
+// Result, so dependency analyses overlap with timing simulations.
 func (s *Suite) Analyze(b workload.Benchmark, robSize int) (trace.DepStats, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	tr, err := s.traceFor(b)
+	val, err := s.do(Request{Bench: b, Analyze: true, ROBSize: robSize})
 	if err != nil {
 		return trace.DepStats{}, err
 	}
-	return trace.AnalyzeDependencies(tr, robSize), nil
+	return val.(trace.DepStats), nil
 }
 
 // geomean returns the geometric mean of xs (0 when empty).
@@ -159,4 +155,9 @@ func geomean(xs []float64) float64 {
 		logsum += math.Log(x)
 	}
 	return math.Exp(logsum / float64(len(xs)))
+}
+
+// fmtKey builds the canonical cache key for a request.
+func fmtKey(b workload.Benchmark, kind core.PrefetcherKind, variant string) string {
+	return fmt.Sprintf("%s/%v/%s", b, kind, variant)
 }

@@ -7,6 +7,7 @@ package workload
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"droplet/internal/graph"
@@ -193,6 +194,33 @@ type Benchmark struct {
 // String implements fmt.Stringer ("PR-orkut").
 func (b Benchmark) String() string { return fmt.Sprintf("%v-%s", b.Algo, b.Dataset) }
 
+// ParseAlgorithm resolves a kernel name (case-insensitive).
+func ParseAlgorithm(name string) (Algorithm, error) {
+	for _, a := range AllAlgorithms {
+		if strings.EqualFold(a.String(), name) {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown algorithm %q", name)
+}
+
+// ParseBenchmark resolves an "ALGO-dataset" pair as printed by
+// Benchmark.String (e.g. "PR-orkut").
+func ParseBenchmark(s string) (Benchmark, error) {
+	algoName, dataset, ok := strings.Cut(s, "-")
+	if !ok {
+		return Benchmark{}, fmt.Errorf("workload: benchmark %q not of the form ALGO-dataset", s)
+	}
+	a, err := ParseAlgorithm(algoName)
+	if err != nil {
+		return Benchmark{}, err
+	}
+	if _, err := DatasetByName(dataset); err != nil {
+		return Benchmark{}, err
+	}
+	return Benchmark{Algo: a, Dataset: dataset}, nil
+}
+
 // AllBenchmarks returns the full 5×5 matrix in paper order.
 func AllBenchmarks() []Benchmark {
 	var out []Benchmark
@@ -204,15 +232,27 @@ func AllBenchmarks() []Benchmark {
 	return out
 }
 
+// graphEntry memoizes one build (or transpose) with per-key singleflight
+// semantics: the map lock is held only for entry lookup, so concurrent
+// requests for distinct graphs build in parallel while duplicates share
+// one build.
+type graphEntry struct {
+	once sync.Once
+	g    *graph.CSR
+	err  error
+}
+
 // graphCache memoizes generated graphs (and transposes) across the many
-// benchmark runs of the experiment harness.
+// benchmark runs of the experiment harness. It is safe for concurrent
+// use — the parallel experiment scheduler generates traces from many
+// goroutines at once.
 var graphCache = struct {
 	sync.Mutex
-	graphs     map[string]*graph.CSR
-	transposes map[*graph.CSR]*graph.CSR
+	graphs     map[string]*graphEntry
+	transposes map[*graph.CSR]*graphEntry
 }{
-	graphs:     make(map[string]*graph.CSR),
-	transposes: make(map[*graph.CSR]*graph.CSR),
+	graphs:     make(map[string]*graphEntry),
+	transposes: make(map[*graph.CSR]*graphEntry),
 }
 
 // Graph returns the (cached) proxy graph for the dataset at scale.
@@ -223,27 +263,26 @@ func Graph(dataset string, sc Scale, weighted bool) (*graph.CSR, error) {
 	}
 	key := fmt.Sprintf("%s/%v/%v", dataset, sc, weighted)
 	graphCache.Lock()
-	defer graphCache.Unlock()
-	if g, ok := graphCache.graphs[key]; ok {
-		return g, nil
+	e, ok := graphCache.graphs[key]
+	if !ok {
+		e = &graphEntry{}
+		graphCache.graphs[key] = e
 	}
-	g, err := d.Build(sc, weighted)
-	if err != nil {
-		return nil, err
-	}
-	graphCache.graphs[key] = g
-	return g, nil
+	graphCache.Unlock()
+	e.once.Do(func() { e.g, e.err = d.Build(sc, weighted) })
+	return e.g, e.err
 }
 
 func transposeOf(g *graph.CSR) *graph.CSR {
 	graphCache.Lock()
-	defer graphCache.Unlock()
-	if t, ok := graphCache.transposes[g]; ok {
-		return t
+	e, ok := graphCache.transposes[g]
+	if !ok {
+		e = &graphEntry{}
+		graphCache.transposes[g] = e
 	}
-	t := g.Transpose()
-	graphCache.transposes[g] = t
-	return t
+	graphCache.Unlock()
+	e.once.Do(func() { e.g = g.Transpose() })
+	return e.g
 }
 
 // GenerateTrace builds the multi-core memory trace for benchmark b at the

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"sync"
 	"testing"
 
 	"droplet/internal/graph"
@@ -163,4 +164,95 @@ func TestGenerateTraceUnknownDataset(t *testing.T) {
 	if err == nil {
 		t.Error("expected error for unknown dataset")
 	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	for _, name := range []string{"PR", "pr", "Pr"} {
+		a, err := ParseAlgorithm(name)
+		if err != nil || a != PR {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v", name, a, err)
+		}
+	}
+	if _, err := ParseAlgorithm("nope"); err == nil {
+		t.Error("bogus algorithm resolved")
+	}
+}
+
+func TestParseBenchmark(t *testing.T) {
+	b, err := ParseBenchmark("PR-orkut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Algo != PR || b.Dataset != "orkut" {
+		t.Errorf("ParseBenchmark = %+v", b)
+	}
+	if b.String() != "PR-orkut" {
+		t.Errorf("round trip = %s", b)
+	}
+	for _, bad := range []string{"PR", "PR-nope", "XX-orkut", ""} {
+		if _, err := ParseBenchmark(bad); err == nil {
+			t.Errorf("ParseBenchmark(%q) resolved", bad)
+		}
+	}
+}
+
+// TestConcurrentGraphAccess hammers the graph cache from many goroutines
+// (the parallel experiment scheduler's access pattern); under -race this
+// checks the per-key singleflight. Duplicate requests must share one
+// build and return the same object.
+func TestConcurrentGraphAccess(t *testing.T) {
+	datasets := []string{"kron", "road", "urand"}
+	var wg sync.WaitGroup
+	got := make([]*graph.CSR, 12)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g, err := Graph(datasets[i%len(datasets)], Quick, false)
+			if err != nil {
+				t.Errorf("Graph: %v", err)
+				return
+			}
+			got[i] = g
+		}(i)
+	}
+	wg.Wait()
+	byDataset := make(map[string]*graph.CSR)
+	for i, g := range got {
+		if g == nil {
+			continue
+		}
+		name := datasets[i%len(datasets)]
+		if prev, ok := byDataset[name]; ok && prev != g {
+			t.Errorf("duplicate requests for %s returned distinct graphs", name)
+		}
+		byDataset[name] = g
+	}
+}
+
+// TestConcurrentGenerateTrace generates traces for distinct benchmarks in
+// parallel — the scheduler does this constantly, so it must be race-free.
+func TestConcurrentGenerateTrace(t *testing.T) {
+	benches := []Benchmark{
+		{Algo: PR, Dataset: "kron"},
+		{Algo: BFS, Dataset: "road"},
+		{Algo: CC, Dataset: "kron"},
+		{Algo: PR, Dataset: "kron"}, // duplicate: shares the cached graph
+	}
+	var wg sync.WaitGroup
+	for _, b := range benches {
+		wg.Add(1)
+		go func(b Benchmark) {
+			defer wg.Done()
+			tr, err := GenerateTrace(b, Quick, 0)
+			if err != nil {
+				t.Errorf("%s: %v", b, err)
+				return
+			}
+			if tr.Events() == 0 {
+				t.Errorf("%s: empty trace", b)
+			}
+		}(b)
+	}
+	wg.Wait()
 }
