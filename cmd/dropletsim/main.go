@@ -16,6 +16,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"droplet/internal/core"
@@ -43,8 +44,38 @@ func main() {
 		jobs       = flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers (also bounds live traces)")
 		verbose    = flag.Bool("v", false, "print per-simulation progress to stderr")
 		outPath    = flag.String("o", "", "write -matrix tables to this file instead of stdout")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dropletsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dropletsim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dropletsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // collect dead objects so the profile shows live memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dropletsim:", err)
+			}
+		}()
+	}
 
 	if *matrix != "" {
 		if err := runMatrix(*matrix, *benchmarks, *scale, *jobs, *verbose, *outPath); err != nil {

@@ -40,15 +40,27 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// line is one cache line's metadata.
-type line struct {
-	tag        uint64
-	valid      bool
-	dirty      bool
-	prefetched bool // installed by a prefetcher and not yet demanded
-	dtype      mem.DataType
-	readyAt    int64 // fill completion time; accesses before this wait
-	lru        uint64
+// Per-line state lives in flat way-indexed parallel arrays (see Cache);
+// flags holds the two line status bits.
+const (
+	flagDirty      = 1 << 0
+	flagPrefetched = 1 << 1 // installed by a prefetcher and not yet demanded
+)
+
+// meta packs the per-line fields the probe scans never read, so a hit or
+// fill loads them with a single cache-line touch.
+type meta struct {
+	ready int64 // fill completion time; accesses before this wait
+	dtype mem.DataType
+	flags uint8 // flagDirty | flagPrefetched
+	// upper is a per-core residency hint maintained by an inclusive
+	// owner (the LLC): bit c set means core c's private caches may hold
+	// a copy installed while this line was resident. It is set via
+	// MarkUpper, cleared wholesale when a fill replaces the line, and
+	// deliberately never cleared on private evictions — a stale set bit
+	// only costs a wasted back-invalidation probe, while a clear bit
+	// proves the core cannot hold the line.
+	upper uint16
 }
 
 // Victim describes a line evicted by a fill.
@@ -58,6 +70,7 @@ type Victim struct {
 	Valid      bool
 	Prefetched bool // evicted before any demand touched it (a wasted prefetch)
 	DType      mem.DataType
+	Upper      uint16 // the evicted line's upper-residency mask (see meta.upper)
 }
 
 // Stats aggregates per-cache counters, split by data type.
@@ -111,14 +124,50 @@ func (s *Stats) HitRate() float64 {
 	return float64(s.TotalHits()) / float64(a)
 }
 
+// noTag marks an invalid way in the compact tag array. Real tags are line
+// addresses (byte address >> 6), which never reach 2^64-1.
+const noTag = ^uint64(0)
+
 // Cache is one set-associative cache. Addresses passed in are line-aligned
 // automatically.
+//
+// Line metadata is stored struct-of-arrays: the hot probes — hit checks
+// and victim selection — scan only the compact tags/lrus arrays, touching
+// a couple of host cache lines per set instead of per-way metadata
+// structs, and the cold fields (readyAt, data type, status flags) are
+// loaded only for the one way that matched.
 type Cache struct {
 	cfg     Config
-	sets    []([]line)
 	setMask uint64
-	tick    uint64
-	stats   Stats
+	assoc   int
+	// tags holds each way's line address, noTag when the way is invalid.
+	// A tag deliberately keeps the FULL line address (set bits included)
+	// rather than shifting them out: Fill and Invalidate reconstruct a
+	// victim's address as tag<<LineShift, which only works because nothing
+	// was discarded. Do not "optimize" the tag down to lineaddr>>setBits
+	// without also storing the set index in each victim.
+	tags []uint64
+	lrus []uint64 // LRU stamp per way; valid ways always have stamp >= 1
+	meta []meta   // cold per-line fields, one 16-byte record per way
+	// mru holds, per set, the way index of the most recently touched
+	// line. Graph workloads hit the same hot line repeatedly (offsets,
+	// frontier words), so probing the hinted way first short-circuits the
+	// associative scan on the common path. Purely a speedup: hit/miss
+	// outcomes, stats, and LRU state are identical with or without it.
+	mru  []uint16
+	tick uint64
+	// missLA/missIdx/missOldest memoize the victim selection computed by
+	// the most recent Access miss: the demand protocol always follows a
+	// miss with a Fill of the same line in the same event, so Fill can
+	// skip its merge+victim scan and reuse the miss's answer. The memo is
+	// valid only while the set provably hasn't changed: every mutation
+	// that could alter victim choice or create a merge candidate — a
+	// fill, a hit (LRU bump), an invalidation, a promotion — resets
+	// missLA to noTag, forcing the next Fill back to the full scan.
+	missLA     uint64
+	missIdx    int    // flat way index of the chosen victim
+	missOldest uint64 // the victim's LRU stamp; 0 means it was an invalid way
+	stats      Stats
 }
 
 // New builds a cache from cfg, panicking on invalid geometry (a
@@ -128,12 +177,21 @@ func New(cfg Config) *Cache {
 		panic(err)
 	}
 	numSets := cfg.SizeBytes / mem.LineSize / cfg.Assoc
-	sets := make([][]line, numSets)
-	backing := make([]line, numSets*cfg.Assoc)
-	for i := range sets {
-		sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
+	lines := numSets * cfg.Assoc
+	tags := make([]uint64, lines)
+	for i := range tags {
+		tags[i] = noTag
 	}
-	return &Cache{cfg: cfg, sets: sets, setMask: uint64(numSets - 1)}
+	return &Cache{
+		cfg:     cfg,
+		setMask: uint64(numSets - 1),
+		assoc:   cfg.Assoc,
+		tags:    tags,
+		lrus:    make([]uint64, lines),
+		meta:    make([]meta, lines),
+		mru:     make([]uint16, numSets),
+		missLA:  noTag,
+	}
 }
 
 // Config returns the cache's configuration.
@@ -142,18 +200,19 @@ func (c *Cache) Config() Config { return c.cfg }
 // Stats returns a pointer to the live counters.
 func (c *Cache) Stats() *Stats { return &c.stats }
 
-func (c *Cache) locate(addr mem.Addr) (set []line, tag uint64) {
-	la := addr >> mem.LineShift
-	return c.sets[la&c.setMask], la >> 0
-}
-
 // Lookup probes for addr without updating stats or LRU. It returns the
 // line's readiness time when present. Used by the coherence engine.
 func (c *Cache) Lookup(addr mem.Addr) (readyAt int64, ok bool) {
-	set, tag := c.locate(addr)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			return set[i].readyAt, true
+	la := addr >> mem.LineShift
+	si := la & c.setMask
+	base := int(si) * c.assoc
+	tags := c.tags[base : base+c.assoc]
+	if w := int(c.mru[si]); tags[w] == uint64(la) {
+		return c.meta[base+w].ready, true
+	}
+	for i, t := range tags {
+		if t == uint64(la) {
+			return c.meta[base+i].ready, true
 		}
 	}
 	return 0, false
@@ -164,31 +223,63 @@ func (c *Cache) Lookup(addr mem.Addr) (readyAt int64, ok bool) {
 // than now only when the line is still in flight). LRU and all stats are
 // updated; a write marks the line dirty.
 func (c *Cache) Access(addr mem.Addr, dtype mem.DataType, write bool, now int64) (readyAt int64, ok bool) {
-	set, tag := c.locate(addr)
+	la := addr >> mem.LineShift
+	si := la & c.setMask
+	base := int(si) * c.assoc
+	tags := c.tags[base : base+c.assoc]
 	c.stats.DemandAccesses[dtype]++
-	for i := range set {
-		ln := &set[i]
-		if !ln.valid || ln.tag != tag {
+	// Probe the MRU-hinted way first; fall back to the associative scan.
+	if w := int(c.mru[si]); tags[w] == uint64(la) {
+		return c.hit(base+w, dtype, write, now), true
+	}
+	// The miss scan doubles as the victim selection for the Fill that
+	// follows (same tie-breaks as Fill's own scan: last invalid way wins,
+	// else the first way with the minimal LRU stamp).
+	lrus := c.lrus[base : base+c.assoc][:len(tags)] // bounds-check hint
+	victimIdx := -1
+	var oldest uint64 = ^uint64(0)
+	for i, t := range tags {
+		if t == uint64(la) {
+			c.mru[si] = uint16(i)
+			return c.hit(base+i, dtype, write, now), true
+		}
+		if t == noTag {
+			victimIdx = i
+			oldest = 0
 			continue
 		}
-		c.stats.DemandHits[dtype]++
-		if ln.prefetched {
-			c.stats.PrefetchHits[ln.dtype]++
-			ln.prefetched = false
+		if lrus[i] < oldest {
+			oldest = lrus[i]
+			victimIdx = i
 		}
-		if write {
-			ln.dirty = true
-		}
-		c.tick++
-		ln.lru = c.tick
-		r := ln.readyAt
-		if r < now {
-			r = now
-		}
-		return r, true
 	}
 	c.stats.DemandMisses[dtype]++
+	c.missLA = uint64(la)
+	c.missIdx = base + victimIdx
+	c.missOldest = oldest
 	return 0, false
+}
+
+// hit applies the stats, LRU, and dirty-bit effects of a demand hit on
+// the line at flat way index idx and returns the forwarding time.
+func (c *Cache) hit(idx int, dtype mem.DataType, write bool, now int64) int64 {
+	m := &c.meta[idx]
+	c.missLA = noTag // the LRU bump below could change a memoized victim
+	c.stats.DemandHits[dtype]++
+	if m.flags&flagPrefetched != 0 {
+		c.stats.PrefetchHits[m.dtype]++
+		m.flags &^= flagPrefetched
+	}
+	if write {
+		m.flags |= flagDirty
+	}
+	c.tick++
+	c.lrus[idx] = c.tick
+	r := m.ready
+	if r < now {
+		r = now
+	}
+	return r
 }
 
 // Fill installs addr, ready at readyAt, evicting the LRU way if needed.
@@ -197,97 +288,145 @@ func (c *Cache) Access(addr mem.Addr, dtype mem.DataType, write bool, now int64)
 // hierarchies must back-invalidate it upstream and write it back
 // downstream when dirty.
 func (c *Cache) Fill(addr mem.Addr, dtype mem.DataType, readyAt int64, prefetch bool) Victim {
-	set, tag := c.locate(addr)
+	la := addr >> mem.LineShift
+	si := la & c.setMask
+	base := int(si) * c.assoc
 	c.stats.Fills++
 	if prefetch {
 		c.stats.PrefetchFills++
 	}
-	victimIdx := -1
-	var oldest uint64 = ^uint64(0)
-	for i := range set {
-		ln := &set[i]
-		if ln.valid && ln.tag == tag {
-			// Refill of a resident line (e.g. prefetch racing demand):
-			// keep the earlier readiness, merge flags.
-			if readyAt < ln.readyAt {
-				ln.readyAt = readyAt
+	var victimIdx int
+	var oldest uint64
+	if uint64(la) == c.missLA {
+		// The Access miss for this line already chose the victim and the
+		// set provably hasn't changed since (any mutation resets missLA),
+		// so the merge check (the line is still absent) and the victim
+		// scan are both settled.
+		victimIdx = c.missIdx
+		oldest = c.missOldest
+	} else {
+		tags := c.tags[base : base+c.assoc]
+		lrus := c.lrus[base : base+c.assoc][:len(tags)] // bounds-check hint
+		victimIdx = -1
+		oldest = ^uint64(0)
+		for i, t := range tags {
+			if t == uint64(la) {
+				// Refill of a resident line (e.g. prefetch racing demand):
+				// keep the earlier readiness, merge flags. No memo reset —
+				// readiness and flags play no part in victim choice.
+				m := &c.meta[base+i]
+				if readyAt < m.ready {
+					m.ready = readyAt
+				}
+				if !prefetch {
+					m.flags &^= flagPrefetched
+				}
+				return Victim{}
 			}
-			if !prefetch {
-				ln.prefetched = false
+			if t == noTag {
+				victimIdx = i
+				oldest = 0
+				continue
 			}
-			return Victim{}
+			if lrus[i] < oldest {
+				oldest = lrus[i]
+				victimIdx = i
+			}
 		}
-		if !ln.valid {
-			victimIdx = i
-			oldest = 0
-			continue
-		}
-		if ln.lru < oldest {
-			oldest = ln.lru
-			victimIdx = i
-		}
+		victimIdx += base
 	}
-	ln := &set[victimIdx]
+	c.missLA = noTag // the install below changes the set
+	m := &c.meta[victimIdx]
 	var v Victim
-	if ln.valid {
+	if oldest != 0 { // the chosen way held a valid line (valid stamps are >= 1)
 		v = Victim{
-			Addr:       ln.tag << mem.LineShift, // tag holds the full line address
-			Dirty:      ln.dirty,
+			Addr:       mem.Addr(c.tags[victimIdx]) << mem.LineShift, // tag holds the full line address
+			Dirty:      m.flags&flagDirty != 0,
 			Valid:      true,
-			Prefetched: ln.prefetched,
-			DType:      ln.dtype,
+			Prefetched: m.flags&flagPrefetched != 0,
+			DType:      m.dtype,
+			Upper:      m.upper,
 		}
-		if ln.dirty {
+		if v.Dirty {
 			c.stats.Writebacks++
 		}
-		if ln.prefetched {
-			c.stats.PrefetchEvictedUnused[ln.dtype]++
+		if v.Prefetched {
+			c.stats.PrefetchEvictedUnused[v.DType]++
 		}
 	}
 	c.tick++
-	*ln = line{
-		tag:        tag,
-		valid:      true,
-		prefetched: prefetch,
-		dtype:      dtype,
-		readyAt:    readyAt,
-		lru:        c.tick,
+	c.tags[victimIdx] = uint64(la)
+	c.lrus[victimIdx] = c.tick
+	var f uint8
+	if prefetch {
+		f = flagPrefetched
 	}
+	*m = meta{ready: readyAt, dtype: dtype, flags: f}
+	c.mru[si] = uint16(victimIdx - base)
 	return v
 }
 
 // Invalidate removes addr if present (inclusive back-invalidation),
 // returning the removed line's state.
 func (c *Cache) Invalidate(addr mem.Addr) Victim {
-	set, tag := c.locate(addr)
-	for i := range set {
-		ln := &set[i]
-		if ln.valid && ln.tag == tag {
+	la := addr >> mem.LineShift
+	si := la & c.setMask
+	base := int(si) * c.assoc
+	tags := c.tags[base : base+c.assoc]
+	for i, t := range tags {
+		if t == uint64(la) {
+			m := &c.meta[base+i]
 			v := Victim{
-				Addr:       ln.tag << mem.LineShift,
-				Dirty:      ln.dirty,
+				Addr:       mem.Addr(t) << mem.LineShift,
+				Dirty:      m.flags&flagDirty != 0,
 				Valid:      true,
-				Prefetched: ln.prefetched,
-				DType:      ln.dtype,
+				Prefetched: m.flags&flagPrefetched != 0,
+				DType:      m.dtype,
 			}
-			if ln.prefetched {
-				c.stats.PrefetchEvictedUnused[ln.dtype]++
+			if v.Prefetched {
+				c.stats.PrefetchEvictedUnused[v.DType]++
 			}
-			ln.valid = false
+			tags[i] = noTag
+			c.missLA = noTag // the freed way could change a memoized victim
 			return v
 		}
 	}
 	return Victim{}
 }
 
+// MarkUpper ORs bit into a resident line's upper-residency mask (see
+// meta.upper); absent lines are ignored. Callers invoke it right after
+// touching the line (Access hit or Fill), so the MRU-hinted probe almost
+// always resolves without the associative scan.
+func (c *Cache) MarkUpper(addr mem.Addr, bit uint16) {
+	la := addr >> mem.LineShift
+	si := la & c.setMask
+	base := int(si) * c.assoc
+	tags := c.tags[base : base+c.assoc]
+	if w := int(c.mru[si]); tags[w] == uint64(la) {
+		c.meta[base+w].upper |= bit
+		return
+	}
+	for i, t := range tags {
+		if t == uint64(la) {
+			c.meta[base+i].upper |= bit
+			return
+		}
+	}
+}
+
 // Promote bumps a resident line to MRU without touching demand stats
 // (used when a prefetch engine reads the line, e.g. the LLC-to-L2 copy).
 func (c *Cache) Promote(addr mem.Addr) {
-	set, tag := c.locate(addr)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+	la := addr >> mem.LineShift
+	si := la & c.setMask
+	base := int(si) * c.assoc
+	tags := c.tags[base : base+c.assoc]
+	for i, t := range tags {
+		if t == uint64(la) {
 			c.tick++
-			set[i].lru = c.tick
+			c.lrus[base+i] = c.tick
+			c.missLA = noTag // the LRU bump could change a memoized victim
 			return
 		}
 	}
@@ -296,10 +435,13 @@ func (c *Cache) Promote(addr mem.Addr) {
 // MarkDirty sets the dirty bit of a resident line (used when a writeback
 // from an upper level lands in this cache).
 func (c *Cache) MarkDirty(addr mem.Addr) {
-	set, tag := c.locate(addr)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].dirty = true
+	la := addr >> mem.LineShift
+	si := la & c.setMask
+	base := int(si) * c.assoc
+	tags := c.tags[base : base+c.assoc]
+	for i, t := range tags {
+		if t == uint64(la) {
+			c.meta[base+i].flags |= flagDirty
 			return
 		}
 	}
@@ -308,11 +450,9 @@ func (c *Cache) MarkDirty(addr mem.Addr) {
 // ResidentLines returns the number of valid lines (testing hook).
 func (c *Cache) ResidentLines() int {
 	n := 0
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].valid {
-				n++
-			}
+	for _, t := range c.tags {
+		if t != noTag {
+			n++
 		}
 	}
 	return n

@@ -141,7 +141,7 @@ func TestAttachMonoDelayDefaultsToClimbLatency(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, s := range a.Streamers {
-		reqs := s.OnAccess(prefetch.AccessInfo{VAddr: l.Structure.Base, StructureBit: true})
+		reqs := s.OnAccess(prefetch.AccessInfo{VAddr: l.Structure.Base, StructureBit: true}, nil)
 		_ = reqs
 	}
 	// Indirect check: RefillClimbLatency must be positive so mono pays a

@@ -11,6 +11,7 @@ package cpu
 
 import (
 	"fmt"
+	"math/bits"
 
 	"droplet/internal/mem"
 	"droplet/internal/memsys"
@@ -106,14 +107,100 @@ type Core struct {
 	instr      int64
 
 	completeAt []int64 // completion time per event index (dep targets)
+	// widthShift is log2(DispatchWidth) when it is a power of two, else
+	// -1; dispatchCycle runs once or more per event, so the division is
+	// worth replacing with a shift for the common 4-wide config.
+	widthShift int
 	// window holds the events inside the current ROB window in program
 	// order (instr ascending); head indexes its logical front.
 	window []robEntry
 	head   int
-	loadQ  []int64 // outstanding load completion times
-	storeQ []int64 // outstanding store completion times
+	loadQ  minQueue // outstanding load completion times
+	storeQ minQueue // outstanding store completion times
 
 	stats Stats
+}
+
+// minQueue tracks the completion times of outstanding load/store-queue
+// entries as a sorted array. The simulator prunes completed entries at
+// every event and the prune threshold is NOT monotonic (a dependent load
+// can issue far in the future, then its successor issue earlier), so the
+// pruned-out set is genuinely historical state: an entry removed at a
+// high threshold must stay removed even when a later, lower threshold
+// would have kept it. Keeping the array sorted makes that exact eager
+// prune a prefix pop (usually zero or one entry) instead of the full
+// O(cap) filter-scan the seed code ran per event, and push is an
+// insertion from the back that is O(1) when completion times trend
+// upward, as they do. The backing array is allocated once per core.
+type minQueue struct {
+	buf  []int64 // buf[head:] holds the live entries, ascending
+	head int     // dead prefix below head awaits compaction
+}
+
+func newMinQueue(capacity int) minQueue {
+	// 2× headroom so the dead prefix can grow for a full queue's worth of
+	// pushes before push has to compact.
+	return minQueue{buf: make([]int64, 0, 2*capacity)}
+}
+
+func (q *minQueue) len() int { return len(q.buf) - q.head }
+
+// min returns the earliest completion time of the stored entries.
+func (q *minQueue) min() int64 { return q.buf[q.head] }
+
+// push records completion time t, keeping buf[head:] sorted. The dead
+// prefix is compacted away only when the backing array is exhausted —
+// one memmove per ~capacity pushes instead of one per prune. Both hot
+// cases are O(1): a cache-hit completion is usually below every
+// outstanding DRAM completion and drops into the pruned gap in front of
+// head, and a DRAM completion usually lands at the back. The rare
+// middle insert binary-searches and shifts whichever side is shorter.
+func (q *minQueue) push(t int64) {
+	if len(q.buf) == cap(q.buf) && q.head > 0 {
+		// Compact, but keep half the reclaimed prefix as front slack:
+		// landing at head=0 would disable the front-insert fast path
+		// until prunes rebuild a gap, forcing tail memmoves meanwhile.
+		gap := q.head / 2
+		n := copy(q.buf[gap:], q.buf[q.head:])
+		q.buf = q.buf[:gap+n]
+		q.head = gap
+	}
+	n := len(q.buf)
+	if n == q.head || t >= q.buf[n-1] {
+		q.buf = append(q.buf, t)
+		return
+	}
+	if q.head > 0 && t <= q.buf[q.head] {
+		q.head--
+		q.buf[q.head] = t
+		return
+	}
+	lo, hi := q.head, n
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if q.buf[m] <= t {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	if q.head > 0 && lo-q.head <= n-lo {
+		q.head--
+		copy(q.buf[q.head:lo-1], q.buf[q.head+1:lo])
+		q.buf[lo-1] = t
+		return
+	}
+	q.buf = append(q.buf, 0)
+	copy(q.buf[lo+1:], q.buf[lo:])
+	q.buf[lo] = t
+}
+
+// prune removes every entry that has completed by now (t <= now) — a
+// sorted prefix, so removal is advancing head past it.
+func (q *minQueue) prune(now int64) {
+	for q.head < len(q.buf) && q.buf[q.head] <= now {
+		q.head++
+	}
 }
 
 // NewCore builds a core over stream; invalid configs panic.
@@ -121,12 +208,19 @@ func NewCore(id int, cfg Config, port MemPort, stream []trace.Event) *Core {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	widthShift := -1
+	if w := cfg.DispatchWidth; w&(w-1) == 0 {
+		widthShift = bits.TrailingZeros64(uint64(w))
+	}
 	return &Core{
 		id:         id,
 		cfg:        cfg,
 		port:       port,
 		stream:     stream,
 		completeAt: make([]int64, len(stream)),
+		widthShift: widthShift,
+		loadQ:      newMinQueue(cfg.LoadQueue),
+		storeQ:     newMinQueue(cfg.StoreQueue),
 	}
 }
 
@@ -171,6 +265,9 @@ func (c *Core) PassBarrier(t int64) {
 }
 
 func (c *Core) dispatchCycle() int64 {
+	if c.widthShift >= 0 {
+		return c.slots >> uint(c.widthShift)
+	}
 	return c.slots / int64(c.cfg.DispatchWidth)
 }
 
@@ -232,19 +329,20 @@ func (c *Core) Step() {
 				issue = dep
 			}
 		}
-		// Load-queue capacity bounds MLP.
-		c.pruneQueue(&c.loadQ, issue)
-		if len(c.loadQ) >= c.cfg.LoadQueue {
-			oldest := minOf(c.loadQ)
-			if oldest > issue {
+		// Load-queue capacity bounds MLP: with the queue still full after
+		// pruning, the earliest outstanding completion is the time a slot
+		// frees.
+		c.loadQ.prune(issue)
+		if c.loadQ.len() >= c.cfg.LoadQueue {
+			if oldest := c.loadQ.min(); oldest > issue {
 				issue = oldest
-				c.stats.LQFullStalls++
 			}
-			c.pruneQueue(&c.loadQ, issue)
+			c.stats.LQFullStalls++
+			c.loadQ.prune(issue)
 		}
 		complete, lvl := c.port.Access(c.id, ev.Addr, ev.DType, false, issue)
 		c.completeAt[idx] = complete
-		c.loadQ = append(c.loadQ, complete)
+		c.loadQ.push(complete)
 		c.stats.LoadsByLevel[lvl]++
 		if lvl == memsys.LevelDRAM {
 			c.stats.DRAMLatencySum += complete - issue
@@ -268,17 +366,16 @@ func (c *Core) Step() {
 			}
 		}
 		// Store-queue capacity delays dispatch when full.
-		c.pruneQueue(&c.storeQ, issue)
-		if len(c.storeQ) >= c.cfg.StoreQueue {
-			oldest := minOf(c.storeQ)
-			if oldest > issue {
+		c.storeQ.prune(issue)
+		if c.storeQ.len() >= c.cfg.StoreQueue {
+			if oldest := c.storeQ.min(); oldest > issue {
 				issue = oldest
 			}
-			c.pruneQueue(&c.storeQ, issue)
+			c.storeQ.prune(issue)
 		}
 		complete, _ := c.port.Access(c.id, ev.Addr, ev.DType, true, issue)
 		c.completeAt[idx] = complete
-		c.storeQ = append(c.storeQ, complete)
+		c.storeQ.push(complete)
 		// Stores retire from the store buffer without stalling the core.
 		retire := max64(c.lastRetire, dispatch+1)
 		c.lastRetire = retire
@@ -292,26 +389,6 @@ func (c *Core) Step() {
 
 func (c *Core) recordROB(retire int64) {
 	c.window = append(c.window, robEntry{instr: c.instr, retire: retire})
-}
-
-func (c *Core) pruneQueue(q *[]int64, now int64) {
-	live := (*q)[:0]
-	for _, t := range *q {
-		if t > now {
-			live = append(live, t)
-		}
-	}
-	*q = live
-}
-
-func minOf(xs []int64) int64 {
-	m := xs[0]
-	for _, x := range xs[1:] {
-		if x < m {
-			m = x
-		}
-	}
-	return m
 }
 
 func max64(a, b int64) int64 {

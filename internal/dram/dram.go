@@ -7,6 +7,7 @@ package dram
 
 import (
 	"fmt"
+	"math/bits"
 
 	"droplet/internal/mem"
 )
@@ -133,8 +134,14 @@ type MemoryController struct {
 	chanFree   []int64   // next cycle each channel can start a transfer
 	rowOpen    [][]int64 // open row per channel×bank, -1 when closed
 	// mrb tracks outstanding completion times per channel (a bounded
-	// window emulating MRB capacity).
-	mrb       [][]int64
+	// window emulating MRB capacity). Each window is sorted ascending in
+	// mrb[ch][mrbHead[ch]:]; the dead prefix below the head index awaits
+	// compaction, which happens only when the backing array runs out.
+	mrb     [][]int64
+	mrbHead []int
+	// bankShift is log2(BanksPerChannel) when it is a power of two, else
+	// -1; route uses it to replace two u64 divisions with shift/mask.
+	bankShift int
 	stats     Stats
 	onRefill  []func(Refill)
 	lastCycle int64
@@ -153,12 +160,22 @@ func NewMemoryController(cfg Config) *MemoryController {
 		chanFree:   make([]int64, cfg.Channels),
 		rowOpen:    make([][]int64, cfg.Channels),
 		mrb:        make([][]int64, cfg.Channels),
+		mrbHead:    make([]int, cfg.Channels),
+		bankShift:  -1,
+	}
+	if b := cfg.BanksPerChannel; b&(b-1) == 0 {
+		mc.bankShift = bits.TrailingZeros64(uint64(b))
 	}
 	for i := range mc.rowOpen {
 		mc.rowOpen[i] = make([]int64, cfg.BanksPerChannel)
 		for b := range mc.rowOpen[i] {
 			mc.rowOpen[i][b] = -1
 		}
+		// Live entries can exceed MRBEntries (a stalled request still
+		// enters the window), and the dead prefix needs headroom before
+		// compaction pays off; append grows the window if a workload
+		// ever outruns it.
+		mc.mrb[i] = make([]int64, 0, 2*cfg.MRBEntries)
 	}
 	return mc
 }
@@ -182,6 +199,11 @@ func (mc *MemoryController) route(addr mem.Addr) (ch, bank int, row int64) {
 		ch = int(la % uint64(mc.cfg.Channels))
 	}
 	rowAddr := addr >> uint(mc.cfg.RowBits)
+	if mc.bankShift >= 0 {
+		bank = int(rowAddr) & (mc.cfg.BanksPerChannel - 1)
+		row = int64(rowAddr >> uint(mc.bankShift))
+		return ch, bank, row
+	}
 	bank = int(rowAddr % uint64(mc.cfg.BanksPerChannel))
 	row = int64(rowAddr / uint64(mc.cfg.BanksPerChannel))
 	return ch, bank, row
@@ -212,22 +234,18 @@ func (mc *MemoryController) Access(req Request, now int64) int64 {
 		start = mc.chanFree[ch]
 	}
 	// MRB capacity: with MRBEntries outstanding, stall behind the oldest.
-	window := mc.mrb[ch]
-	live := window[:0]
-	for _, t := range window {
-		if t > now {
-			live = append(live, t)
-		}
+	// Arrival times are not monotonic across cores, so pruning must stay
+	// eager (an entry retired at a high `now` stays retired even when a
+	// later access arrives earlier); the sorted window turns that
+	// per-access prune into a head advance and the oldest-lookup into the
+	// head entry, replacing the seed code's two O(entries) scans.
+	window, head := mc.mrb[ch], mc.mrbHead[ch]
+	for head < len(window) && window[head] <= now {
+		head++
 	}
-	mc.mrb[ch] = live
-	if len(live) >= mc.cfg.MRBEntries {
-		oldest := live[0]
-		for _, t := range live {
-			if t < oldest {
-				oldest = t
-			}
-		}
-		if oldest > start {
+	mc.mrbHead[ch] = head
+	if len(window)-head >= mc.cfg.MRBEntries {
+		if oldest := window[head]; oldest > start {
 			start = oldest
 		}
 		mc.stats.MRBFullStalls++
@@ -268,7 +286,53 @@ func (mc *MemoryController) Access(req Request, now int64) int64 {
 		mc.stats.DemandReads++
 	}
 	mc.stats.TotalQueueDelay += start - now
-	mc.mrb[ch] = append(mc.mrb[ch], complete)
+	{
+		w, head := mc.mrb[ch], mc.mrbHead[ch]
+		if len(w) == cap(w) && head > 0 {
+			// Compact keeping half the reclaimed prefix as front slack,
+			// so low-side inserts keep their O(1) fast path (see the
+			// cpu.minQueue counterpart).
+			gap := head / 2
+			n := copy(w[gap:], w[head:])
+			w = w[:gap+n]
+			head = gap
+			mc.mrbHead[ch] = head
+		}
+		// Demand, prefetch, and writeback cursors complete out of order,
+		// so inserts are not back-only; binary-search the slot and shift
+		// the shorter side (the pruned gap in front of head absorbs
+		// low-side inserts without touching the tail).
+		n := len(w)
+		switch {
+		case n == head || complete >= w[n-1]:
+			w = append(w, complete)
+		case head > 0 && complete <= w[head]:
+			head--
+			w[head] = complete
+			mc.mrbHead[ch] = head
+		default:
+			lo, hi := head, n
+			for lo < hi {
+				m := int(uint(lo+hi) >> 1)
+				if w[m] <= complete {
+					lo = m + 1
+				} else {
+					hi = m
+				}
+			}
+			if head > 0 && lo-head <= n-lo {
+				head--
+				copy(w[head:lo-1], w[head+1:lo])
+				w[lo-1] = complete
+				mc.mrbHead[ch] = head
+			} else {
+				w = append(w, 0)
+				copy(w[lo+1:], w[lo:])
+				w[lo] = complete
+			}
+		}
+		mc.mrb[ch] = w
+	}
 
 	if len(mc.onRefill) > 0 {
 		r := Refill{

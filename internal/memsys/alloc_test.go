@@ -1,0 +1,61 @@
+package memsys
+
+import (
+	"testing"
+
+	"droplet/internal/mem"
+	"droplet/internal/prefetch"
+)
+
+// TestAccessZeroAllocSteadyState pins the zero-allocation property of the
+// simulation hot path: once every internal buffer (deferred-refill heap,
+// prefetch scratch, MRB windows) has grown to its working size, a demand
+// access must not allocate — with or without an attached prefetcher.
+// Per-access allocations were the dominant simulation cost before the
+// buffers were preallocated and reused (see DESIGN.md, "Simulation
+// performance"); this test keeps that from regressing silently.
+func TestAccessZeroAllocSteadyState(t *testing.T) {
+	cases := []struct {
+		name   string
+		attach func(fx *fixture)
+	}{
+		{"nopf", func(*fixture) {}},
+		{"streamer", func(fx *fixture) {
+			fx.h.AttachL2Prefetcher(0, prefetch.NewStreamer(prefetch.DefaultStreamerConfig()))
+		}},
+		{"ghb", func(fx *fixture) {
+			fx.h.AttachL2Prefetcher(0, prefetch.NewGHB(prefetch.DefaultGHBConfig()))
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fx := newFixture(t, tinyConfig(1))
+			tc.attach(fx)
+			now := int64(0)
+			i := 0
+			// Alternate a sequential structure stream (keeps the streamer
+			// training and issuing) with strided property accesses, cycling
+			// through more lines than the hierarchy holds so misses, fills,
+			// evictions, and writebacks all stay on the exercised path.
+			access := func() {
+				var complete int64
+				if i%4 == 3 {
+					addr := fx.prop.Base + mem.Addr((i*3%2048)*mem.LineSize)
+					complete, _ = fx.h.Access(0, addr, mem.Property, i%8 == 7, now)
+				} else {
+					addr := fx.str.Base + mem.Addr((i%2048)*mem.LineSize)
+					complete, _ = fx.h.Access(0, addr, mem.Structure, false, now)
+				}
+				now = complete + 7
+				i++
+			}
+			// Warm up: grow every lazily-sized buffer to steady state.
+			for j := 0; j < 8192; j++ {
+				access()
+			}
+			if avg := testing.AllocsPerRun(2000, access); avg != 0 {
+				t.Errorf("Access allocates %.3f objects/op in steady state, want 0", avg)
+			}
+		})
+	}
+}

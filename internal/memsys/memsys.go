@@ -7,8 +7,8 @@
 package memsys
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
 
 	"droplet/internal/cache"
 	"droplet/internal/dram"
@@ -113,7 +113,54 @@ type Hierarchy struct {
 	refillSubs []func(dram.Refill)
 	pending    refillHeap
 
+	// memos are per-core direct-mapped translation memos in front of the
+	// page table; pfbuf is the reusable prefetch-request scratch buffer
+	// threaded through L2Prefetcher.OnAccess. Both exist so the demand
+	// access path performs zero heap allocations in steady state.
+	memos []translationMemo
+	pfbuf []prefetch.Req
+
+	// upperBits enables the LLC's per-line upper-residency mask, which
+	// lets fillLLC back-invalidate only the cores that could actually
+	// hold the evicted line. The mask is a uint16, so configurations
+	// beyond 16 cores fall back to probing every core (behaviorally
+	// identical, just slower).
+	upperBits bool
+
 	stats Stats
+}
+
+// memoSize is the number of entries in each core's direct-mapped
+// translation memo (a power of two; 256 entries ≈ 6KB per core).
+const memoSize = 256
+
+// memoEntry caches one page translation plus the page's data type. The
+// address-space layout is static (regions are never freed or remapped),
+// so entries never need invalidation; init distinguishes an empty slot
+// from a memoized negative (unmapped) lookup, which carries a PTE with
+// Valid=false.
+type memoEntry struct {
+	vpn   uint64
+	pte   mem.PTE
+	dtype mem.DataType
+	init  bool
+}
+
+type translationMemo [memoSize]memoEntry
+
+// translate resolves vline through core's memo, falling back to the page
+// table (and the region table for the data type) on a memo miss. ok is
+// false for unmapped addresses.
+func (h *Hierarchy) translate(core int, vline mem.Addr) (pte mem.PTE, dtype mem.DataType, ok bool) {
+	vpn := vline >> mem.PageShift
+	e := &h.memos[core][vpn&(memoSize-1)]
+	if !e.init || e.vpn != vpn {
+		e.vpn = vpn
+		e.pte, _ = h.as.Lookup(vline)
+		e.dtype = h.as.TypeOf(vline)
+		e.init = true
+	}
+	return e.pte, e.dtype, e.pte.Valid
 }
 
 // New builds the hierarchy over the given address space. Invalid configs
@@ -123,13 +170,17 @@ func New(cfg Config, as *mem.AddressSpace) (*Hierarchy, error) {
 		return nil, err
 	}
 	h := &Hierarchy{
-		cfg: cfg,
-		as:  as,
-		l1:  make([]*cache.Cache, cfg.Cores),
-		l2:  make([]*cache.Cache, cfg.Cores),
-		llc: cache.New(cfg.LLC),
-		mc:  dram.NewMemoryController(cfg.DRAM),
-		pfs: make([]prefetch.L2Prefetcher, cfg.Cores),
+		cfg:   cfg,
+		as:    as,
+		l1:    make([]*cache.Cache, cfg.Cores),
+		l2:    make([]*cache.Cache, cfg.Cores),
+		llc:   cache.New(cfg.LLC),
+		mc:    dram.NewMemoryController(cfg.DRAM),
+		pfs:   make([]prefetch.L2Prefetcher, cfg.Cores),
+		memos: make([]translationMemo, cfg.Cores),
+		pfbuf: make([]prefetch.Req, 0, 64),
+
+		upperBits: cfg.Cores <= 16,
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		h.l1[i] = cache.New(cfg.L1)
@@ -139,7 +190,7 @@ func New(cfg Config, as *mem.AddressSpace) (*Hierarchy, error) {
 	}
 	h.mc.SubscribeRefill(func(r dram.Refill) {
 		if len(h.refillSubs) > 0 {
-			heap.Push(&h.pending, r)
+			h.pending.push(r)
 		}
 	})
 	return h, nil
@@ -155,26 +206,59 @@ func (h *Hierarchy) SubscribeRefill(f func(dram.Refill)) {
 // drainRefills delivers every buffered refill that has completed by now.
 func (h *Hierarchy) drainRefills(now int64) {
 	for len(h.pending) > 0 && h.pending[0].ReadyAt <= now {
-		r := heap.Pop(&h.pending).(dram.Refill)
+		r := h.pending.pop()
 		for _, f := range h.refillSubs {
 			f(r)
 		}
 	}
 }
 
-// refillHeap is a min-heap of refills by completion time.
+// refillHeap is a min-heap of refills by completion time. The sift
+// routines mirror container/heap's algorithm exactly (same comparison and
+// swap sequence, so equal-ReadyAt ties pop in the same order), but operate
+// on the concrete element type: pushing through the stdlib's any-typed
+// interface boxed every refill onto the heap — one heap allocation per
+// DRAM fill on the demand path.
 type refillHeap []dram.Refill
 
-func (q refillHeap) Len() int           { return len(q) }
-func (q refillHeap) Less(i, j int) bool { return q[i].ReadyAt < q[j].ReadyAt }
-func (q refillHeap) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *refillHeap) Push(x any)        { *q = append(*q, x.(dram.Refill)) }
-func (q *refillHeap) Pop() any {
-	old := *q
-	n := len(old)
-	x := old[n-1]
-	*q = old[:n-1]
-	return x
+func (q *refillHeap) push(r dram.Refill) {
+	*q = append(*q, r)
+	s := *q
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if !(s[j].ReadyAt < s[i].ReadyAt) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+}
+
+func (q *refillHeap) pop() dram.Refill {
+	s := *q
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	// Sift the new root down over the first n elements.
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && s[j2].ReadyAt < s[j1].ReadyAt {
+			j = j2
+		}
+		if !(s[j].ReadyAt < s[i].ReadyAt) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	r := s[n]
+	*q = s[:n]
+	return r
 }
 
 // AttachL2Prefetcher installs p as core's L2-side prefetcher.
@@ -220,19 +304,23 @@ func (h *Hierarchy) AddressSpace() *mem.AddressSpace { return h.as }
 // completion time plus the level that serviced it.
 func (h *Hierarchy) Access(core int, vaddr mem.Addr, dtype mem.DataType, write bool, now int64) (int64, Level) {
 	vline := mem.LineAddr(vaddr)
-	pte, ok := h.as.Lookup(vline)
+	pte, _, ok := h.translate(core, vline)
 	if !ok {
 		// Unmapped accesses indicate a trace/layout bug.
 		panic(fmt.Sprintf("memsys: access to unmapped address %#x", vaddr))
 	}
 	paddr := pte.PPN<<mem.PageShift | (vline & (mem.PageSize - 1))
 
-	h.drainRefills(now)
+	if len(h.pending) > 0 {
+		h.drainRefills(now)
+	}
 
 	t := now
 	l1 := h.l1[core]
 	if ready, hit := l1.Access(paddr, dtype, write, t); hit {
-		ready = h.expedite(paddr, ready, t)
+		if ready > t {
+			ready = h.expedite(paddr, ready, t)
+		}
 		h.stats.ServicedBy[LevelL1][dtype]++
 		complete := ready + int64(h.cfg.L1.LatencyData)
 		h.stats.LatencyByLevel[LevelL1][dtype] += complete - now
@@ -259,15 +347,22 @@ func (h *Hierarchy) Access(core int, vaddr mem.Addr, dtype mem.DataType, write b
 			L2Hit:        l2Hit,
 			Write:        write,
 			Now:          t,
-		})
+		}, h.pfbuf[:0])
 		for _, r := range reqs {
 			h.ExecutePrefetch(r, t)
 		}
+		h.pfbuf = reqs[:0] // keep any grown capacity for the next access
 	}
 
 	if l2Hit {
-		l2Ready = h.expedite(paddr, l2Ready, t)
+		if l2Ready > t {
+			l2Ready = h.expedite(paddr, l2Ready, t)
+		}
 		complete := max64(l2Ready, t) + int64(h.cfg.L2.LatencyData)
+		// No markUpper here: the line being resident in this core's L2
+		// proves its bit is already set in the LLC copy — the bit was set
+		// when the L2 installed it, and an intervening LLC eviction would
+		// have back-invalidated the L2 (so the L2 hit could not happen).
 		h.fillUpper(core, paddr, dtype, complete, write, true, false)
 		h.stats.ServicedBy[LevelL2][dtype]++
 		h.stats.LatencyByLevel[LevelL2][dtype] += complete - now
@@ -278,8 +373,11 @@ func (h *Hierarchy) Access(core int, vaddr mem.Addr, dtype mem.DataType, write b
 	}
 
 	if ready, hit := h.llc.Access(paddr, dtype, write, t); hit {
-		ready = h.expedite(paddr, ready, t)
+		if ready > t {
+			ready = h.expedite(paddr, ready, t)
+		}
 		complete := max64(ready, t) + int64(h.cfg.LLC.LatencyData)
+		h.markUpper(core, paddr) // hint is warm: llc.Access just touched the line
 		h.fillUpper(core, paddr, dtype, complete, write, true, true)
 		h.stats.ServicedBy[LevelL3][dtype]++
 		h.stats.LatencyByLevel[LevelL3][dtype] += complete - now
@@ -296,6 +394,7 @@ func (h *Hierarchy) Access(core int, vaddr mem.Addr, dtype mem.DataType, write b
 		DType:  dtype,
 	}, t)
 	h.fillLLC(paddr, dtype, complete, false)
+	h.markUpper(core, paddr) // hint is warm: llc.Fill just installed the line
 	h.fillUpper(core, paddr, dtype, complete, write, true, true)
 	h.stats.ServicedBy[LevelDRAM][dtype]++
 	h.stats.LatencyByLevel[LevelDRAM][dtype] += complete - now
@@ -307,11 +406,9 @@ func (h *Hierarchy) Access(core int, vaddr mem.Addr, dtype mem.DataType, write b
 // read that the MC schedules at demand priority (promoting the merged
 // prefetch, the C-bit's scheduling role). Without this, a demand merging
 // with a slow prefetch would wait longer than if the prefetch had never
-// been issued.
+// been issued. Callers only invoke it when ready > now (the line is
+// actually in flight), keeping the call off the plain-hit fast path.
 func (h *Hierarchy) expedite(paddr mem.Addr, ready, now int64) int64 {
-	if ready <= now {
-		return ready
-	}
 	llcLat := int64(h.cfg.LLC.LatencyTag + h.cfg.LLC.LatencyData)
 	if lr, ok := h.llc.Lookup(paddr); ok && lr < ready {
 		if alt := max64(lr, now) + llcLat; alt < ready {
@@ -365,13 +462,33 @@ func (h *Hierarchy) fillLLC(paddr mem.Addr, dtype mem.DataType, readyAt int64, p
 		return
 	}
 	dirty := v.Dirty
-	for c := 0; c < h.cfg.Cores; c++ {
-		if lv := h.l1[c].Invalidate(v.Addr); lv.Valid && lv.Dirty {
-			dirty = true
-		}
-		if h.l2[c] != nil {
-			if lv := h.l2[c].Invalidate(v.Addr); lv.Valid && lv.Dirty {
+	if h.upperBits {
+		// Probe only cores whose bit is set in the victim's residency
+		// mask. A clear bit proves the core never installed the line
+		// while this LLC copy was resident, so its private caches cannot
+		// hold it and the Invalidate would be a guaranteed no-op; a stale
+		// set bit (the core evicted its copy on its own) just degenerates
+		// to the same miss-probe the unmasked loop would have done.
+		for mask := v.Upper; mask != 0; mask &= mask - 1 {
+			c := bits.TrailingZeros16(mask)
+			if lv := h.l1[c].Invalidate(v.Addr); lv.Valid && lv.Dirty {
 				dirty = true
+			}
+			if h.l2[c] != nil {
+				if lv := h.l2[c].Invalidate(v.Addr); lv.Valid && lv.Dirty {
+					dirty = true
+				}
+			}
+		}
+	} else {
+		for c := 0; c < h.cfg.Cores; c++ {
+			if lv := h.l1[c].Invalidate(v.Addr); lv.Valid && lv.Dirty {
+				dirty = true
+			}
+			if h.l2[c] != nil {
+				if lv := h.l2[c].Invalidate(v.Addr); lv.Valid && lv.Dirty {
+					dirty = true
+				}
 			}
 		}
 	}
@@ -380,15 +497,25 @@ func (h *Hierarchy) fillLLC(paddr mem.Addr, dtype mem.DataType, readyAt int64, p
 	}
 }
 
+// markUpper records that core is installing a private copy of paddr, so
+// the LLC's eventual eviction knows which private caches to probe. The
+// line is resident in the LLC at every call site (installs happen only
+// alongside an LLC hit or fill — the inclusion invariant), so the mark
+// lands on the live copy.
+func (h *Hierarchy) markUpper(core int, paddr mem.Addr) {
+	if h.upperBits {
+		h.llc.MarkUpper(paddr, 1<<uint(core))
+	}
+}
+
 // ExecutePrefetch runs one L2-prefetcher request at time now.
 func (h *Hierarchy) ExecutePrefetch(r prefetch.Req, now int64) {
 	vline := mem.LineAddr(r.VAddr)
-	pte, ok := h.as.Lookup(vline)
+	pte, dtype, ok := h.translate(r.Core, vline)
 	if !ok {
 		return // prefetch past a region: drop silently
 	}
 	paddr := pte.PPN<<mem.PageShift | (vline & (mem.PageSize - 1))
-	dtype := h.as.TypeOf(vline)
 
 	// Already at the destination? Nothing to do.
 	dest := h.l1[r.Core]
@@ -410,6 +537,7 @@ func (h *Hierarchy) ExecutePrefetch(r prefetch.Req, now int64) {
 		// On-chip: copy from the LLC into the private cache(s).
 		complete := max64(ready, t) + int64(h.cfg.LLC.LatencyData)
 		h.llc.Promote(paddr)
+		h.markUpper(r.Core, paddr)
 		h.installPrefetch(r.Core, paddr, dtype, complete, r.FillL1)
 		h.stats.PrefetchIssuedByType[dtype]++
 		return
@@ -424,6 +552,7 @@ func (h *Hierarchy) ExecutePrefetch(r prefetch.Req, now int64) {
 		DType:    dtype,
 	}, t)
 	h.fillLLC(paddr, dtype, complete, true)
+	h.markUpper(r.Core, paddr)
 	h.installPrefetch(r.Core, paddr, dtype, complete, r.FillL1)
 	h.stats.PrefetchIssuedByType[dtype]++
 }
@@ -478,6 +607,7 @@ func (h *Hierarchy) CopyLLCToL2(core int, paddr mem.Addr, dtype mem.DataType, no
 		return // raced with an eviction between probe and copy
 	}
 	h.llc.Promote(paddr)
+	h.markUpper(core, paddr)
 	complete := max64(ready, now) + int64(h.cfg.LLC.LatencyData)
 	h.installPrefetch(core, paddr, dtype, complete, fillL1)
 	h.stats.PrefetchIssuedByType[dtype]++
@@ -494,6 +624,7 @@ func (h *Hierarchy) IssueDRAMPrefetch(core int, paddr, vaddr mem.Addr, dtype mem
 		DType:    dtype,
 	}, now)
 	h.fillLLC(paddr, dtype, complete, true)
+	h.markUpper(core, paddr)
 	h.installPrefetch(core, paddr, dtype, complete, fillL1)
 	h.stats.PrefetchIssuedByType[dtype]++
 	return complete

@@ -63,7 +63,7 @@ func (a *AdaptiveStreamer) Name() string { return "adaptive" }
 func (a *AdaptiveStreamer) DataAware() bool { return a.s.cfg.DataAware }
 
 // OnAccess implements L2Prefetcher.
-func (a *AdaptiveStreamer) OnAccess(ev AccessInfo) []Req {
+func (a *AdaptiveStreamer) OnAccess(ev AccessInfo, reqs []Req) []Req {
 	a.count++
 	if ev.L2Hit {
 		a.hits++
@@ -71,7 +71,7 @@ func (a *AdaptiveStreamer) OnAccess(ev AccessInfo) []Req {
 	if a.count >= a.cfg.EpochAccesses {
 		a.endEpoch()
 	}
-	return a.s.OnAccess(ev)
+	return a.s.OnAccess(ev, reqs)
 }
 
 func (a *AdaptiveStreamer) endEpoch() {

@@ -19,7 +19,7 @@ func driveEpoch(a *AdaptiveStreamer, hitRate float64) {
 		a.OnAccess(AccessInfo{
 			VAddr: mem.Addr(0x100000 + i*mem.LineSize),
 			L2Hit: float64(i%100) < hitRate*100,
-		})
+		}, nil)
 	}
 }
 
@@ -88,7 +88,7 @@ func TestAdaptiveModeAffectsRequests(t *testing.T) {
 	// In data-aware mode, non-structure streams yield nothing.
 	var reqs []Req
 	for i := 0; i < 8; i++ {
-		reqs = append(reqs, a.OnAccess(AccessInfo{VAddr: mem.Addr(0x400000 + i*mem.LineSize)})...)
+		reqs = append(reqs, a.OnAccess(AccessInfo{VAddr: mem.Addr(0x400000 + i*mem.LineSize)}, nil)...)
 	}
 	if len(reqs) != 0 {
 		t.Fatal("data-aware mode prefetched non-structure stream")
@@ -97,7 +97,7 @@ func TestAdaptiveModeAffectsRequests(t *testing.T) {
 	a.setMode(false)
 	reqs = nil
 	for i := 0; i < 8; i++ {
-		reqs = append(reqs, a.OnAccess(AccessInfo{VAddr: mem.Addr(0x800000 + i*mem.LineSize)})...)
+		reqs = append(reqs, a.OnAccess(AccessInfo{VAddr: mem.Addr(0x800000 + i*mem.LineSize)}, nil)...)
 	}
 	if len(reqs) == 0 {
 		t.Fatal("conventional mode did not prefetch the stream")

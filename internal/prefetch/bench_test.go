@@ -11,7 +11,7 @@ func BenchmarkStreamerSequential(b *testing.B) {
 	s := NewStreamer(DefaultStreamerConfig())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.OnAccess(AccessInfo{VAddr: mem.Addr(i) << mem.LineShift, StructureBit: true})
+		s.OnAccess(AccessInfo{VAddr: mem.Addr(i) << mem.LineShift, StructureBit: true}, nil)
 	}
 }
 
@@ -21,7 +21,7 @@ func BenchmarkStreamerRandom(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		addr = addr*6364136223846793005 + 1442695040888963407
-		s.OnAccess(AccessInfo{VAddr: mem.LineAddr(addr % (1 << 30))})
+		s.OnAccess(AccessInfo{VAddr: mem.LineAddr(addr % (1 << 30))}, nil)
 	}
 }
 
@@ -29,7 +29,7 @@ func BenchmarkGHBOnAccess(b *testing.B) {
 	g := NewGHB(DefaultGHBConfig())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		g.OnAccess(AccessInfo{VAddr: mem.Addr(i%1024) << mem.LineShift})
+		g.OnAccess(AccessInfo{VAddr: mem.Addr(i%1024) << mem.LineShift}, nil)
 	}
 }
 
@@ -37,7 +37,7 @@ func BenchmarkVLDPOnAccess(b *testing.B) {
 	v := NewVLDP(DefaultVLDPConfig())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		v.OnAccess(AccessInfo{VAddr: mem.Addr(i*3) << mem.LineShift})
+		v.OnAccess(AccessInfo{VAddr: mem.Addr(i*3) << mem.LineShift}, nil)
 	}
 }
 
@@ -51,7 +51,7 @@ func BenchmarkMPPOnRefill(b *testing.B) {
 	}
 	chip := &benchChip{}
 	m := NewMPP(DefaultMPPConfig(), chip, as,
-		func(mem.Addr) []uint32 { return ids },
+		func(_ mem.Addr, buf []uint32) []uint32 { return append(buf, ids...) },
 		[]PropArray{{Base: prop.Base, Elem: 4, Count: prop.Size / 4}})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

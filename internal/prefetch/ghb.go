@@ -27,17 +27,20 @@ type ghbEntry struct {
 // position where that delta pair occurred, and prediction replays the
 // deltas that followed it.
 type GHB struct {
-	cfg    GHBConfig
-	buf    []ghbEntry
-	head   int // next write position
-	count  int
-	seq    uint64
-	index  map[uint64]int32 // delta-pair key → newest buffer index
-	keyLRU []uint64         // insertion order for bounded index table
-	last   uint64           // previous miss line address
-	last2  int64            // previous delta
-	warm   int              // misses observed
-	reqs   []Req
+	cfg   GHBConfig
+	buf   []ghbEntry
+	head  int // next write position
+	count int
+	seq   uint64
+	index map[uint64]int32 // delta-pair key → newest buffer index
+	// keyLRU is a FIFO ring of index-table keys (insertion order for the
+	// bounded table); keyHead/keyLen track the live window.
+	keyLRU  []uint64
+	keyHead int
+	keyLen  int
+	last    uint64 // previous miss line address
+	last2   int64  // previous delta
+	warm    int    // misses observed
 
 	Issued uint64
 }
@@ -48,9 +51,10 @@ func NewGHB(cfg GHBConfig) *GHB {
 		panic("prefetch: bad GHB config")
 	}
 	return &GHB{
-		cfg:   cfg,
-		buf:   make([]ghbEntry, cfg.BufferSize),
-		index: make(map[uint64]int32, cfg.IndexSize),
+		cfg:    cfg,
+		buf:    make([]ghbEntry, cfg.BufferSize),
+		index:  make(map[uint64]int32, cfg.IndexSize),
+		keyLRU: make([]uint64, cfg.IndexSize),
 	}
 }
 
@@ -64,18 +68,17 @@ func deltaKey(d1, d2 int64) uint64 {
 }
 
 // OnAccess implements L2Prefetcher. GHB trains on L2 misses only.
-func (g *GHB) OnAccess(ev AccessInfo) []Req {
+func (g *GHB) OnAccess(ev AccessInfo, reqs []Req) []Req {
 	if ev.L2Hit {
-		return nil
+		return reqs
 	}
-	g.reqs = g.reqs[:0]
 	line := uint64(ev.VAddr >> mem.LineShift)
 
 	if g.warm == 0 {
 		g.push(line)
 		g.last = line
 		g.warm = 1
-		return nil
+		return reqs
 	}
 	d1 := int64(line) - int64(g.last)
 	if g.warm == 1 {
@@ -83,7 +86,7 @@ func (g *GHB) OnAccess(ev AccessInfo) []Req {
 		g.last2 = d1
 		g.last = line
 		g.warm = 2
-		return nil
+		return reqs
 	}
 
 	// Predict: find the newest prior occurrence of (last2, d1) and replay
@@ -99,7 +102,7 @@ func (g *GHB) OnAccess(ev AccessInfo) []Req {
 			}
 			d := int64(g.buf[next].lineAddr) - int64(g.buf[idx].lineAddr)
 			addr = uint64(int64(addr) + d)
-			g.reqs = append(g.reqs, Req{Core: ev.Core, VAddr: mem.Addr(addr) << mem.LineShift})
+			reqs = append(reqs, Req{Core: ev.Core, VAddr: mem.Addr(addr) << mem.LineShift})
 			g.Issued++
 			idx = next
 		}
@@ -111,17 +114,19 @@ func (g *GHB) OnAccess(ev AccessInfo) []Req {
 	g.push(line)
 	if len(g.index) >= g.cfg.IndexSize {
 		// Bounded index table: evict the oldest key.
-		oldest := g.keyLRU[0]
-		g.keyLRU = g.keyLRU[1:]
+		oldest := g.keyLRU[g.keyHead]
+		g.keyHead = (g.keyHead + 1) % len(g.keyLRU)
+		g.keyLen--
 		delete(g.index, oldest)
 	}
 	if _, exists := g.index[key]; !exists {
-		g.keyLRU = append(g.keyLRU, key)
+		g.keyLRU[(g.keyHead+g.keyLen)%len(g.keyLRU)] = key
+		g.keyLen++
 	}
 	g.index[key] = prevPos
 	g.last2 = d1
 	g.last = line
-	return g.reqs
+	return reqs
 }
 
 func (g *GHB) push(line uint64) {

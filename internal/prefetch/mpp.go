@@ -73,9 +73,11 @@ type PropArray struct {
 	Count uint64 // number of elements, for bounds-checking scanned IDs
 }
 
-// LineScanner returns the neighbor IDs stored in the structure cacheline
-// at the given virtual line address — the PAG's parallel scan.
-type LineScanner func(vline mem.Addr) []uint32
+// LineScanner appends the neighbor IDs stored in the structure cacheline
+// at the given virtual line address onto ids and returns the extended
+// slice — the PAG's parallel scan. The caller owns and reuses the buffer,
+// keeping the refill path allocation-free.
+type LineScanner func(vline mem.Addr, ids []uint32) []uint32
 
 // Chip is the MPP's interface to the on-chip hierarchy: the coherence
 // engine probe and the two property-prefetch delivery paths of Fig. 8.
@@ -112,8 +114,9 @@ type MPP struct {
 	props []PropArray
 	mtlb  *mem.TLB
 
-	inflight []int64 // completion times of outstanding DRAM prefetches
-	seen     map[mem.Addr]struct{}
+	inflight []int64    // completion times of outstanding DRAM prefetches
+	seen     []mem.Addr // per-refill dedup scratch; tiny, so a linear scan beats a map
+	ids      []uint32   // scan scratch buffer, reused across refills
 	stats    MPPStats
 }
 
@@ -124,13 +127,15 @@ func NewMPP(cfg MPPConfig, chip Chip, as *mem.AddressSpace, scan LineScanner, pr
 		panic("prefetch: bad MPP config")
 	}
 	return &MPP{
-		cfg:   cfg,
-		chip:  chip,
-		as:    as,
-		scan:  scan,
-		props: props,
-		mtlb:  mem.NewTLB(cfg.MTLBEntries),
-		seen:  make(map[mem.Addr]struct{}, 32),
+		cfg:      cfg,
+		chip:     chip,
+		as:       as,
+		scan:     scan,
+		props:    props,
+		mtlb:     mem.NewTLB(cfg.MTLBEntries),
+		seen:     make([]mem.Addr, 0, 32),
+		inflight: make([]int64, 0, cfg.VABEntries),
+		ids:      make([]uint32, 0, mem.LineSize/4),
 	}
 }
 
@@ -179,17 +184,25 @@ func (m *MPP) OnRefill(r dram.Refill) {
 	m.stats.Triggers++
 	base := r.ReadyAt + m.cfg.ExtraTriggerDelay + m.cfg.PAGLatency
 
-	clear(m.seen)
-	for _, id := range m.scan(r.VAddr) {
+	m.seen = m.seen[:0]
+	m.ids = m.scan(r.VAddr, m.ids[:0])
+	for _, id := range m.ids {
 		for _, p := range m.props {
 			if uint64(id) >= p.Count {
 				continue
 			}
 			vline := mem.LineAddr(p.Base + uint64(id)*p.Elem)
-			if _, dup := m.seen[vline]; dup {
+			dup := false
+			for _, s := range m.seen {
+				if s == vline {
+					dup = true
+					break
+				}
+			}
+			if dup {
 				continue
 			}
-			m.seen[vline] = struct{}{}
+			m.seen = append(m.seen, vline)
 			m.prefetchLine(r.CoreID, vline, base)
 		}
 	}
@@ -222,19 +235,29 @@ func (m *MPP) prefetchLine(core int, vline mem.Addr, t int64) {
 		return
 	}
 
-	// VAB/PAB occupancy: prune completed entries, drop when full.
-	live := m.inflight[:0]
-	for _, c := range m.inflight {
-		if c > t {
-			live = append(live, c)
-		}
+	// VAB/PAB occupancy: prune completed entries, drop when full. Issue
+	// times are not monotonic across triggering cores, so the prune must
+	// stay eager (an entry retired at a high t stays retired); the sorted
+	// window makes it a prefix pop instead of the seed code's full filter
+	// scan per prefetch.
+	i := 0
+	for i < len(m.inflight) && m.inflight[i] <= t {
+		i++
 	}
-	m.inflight = live
+	if i > 0 {
+		m.inflight = m.inflight[:copy(m.inflight, m.inflight[i:])]
+	}
 	if len(m.inflight) >= m.cfg.VABEntries {
 		m.stats.DroppedVABFull++
 		return
 	}
 	done := m.chip.IssueDRAMPrefetch(core, paddr, vline, mem.Property, t, m.cfg.FillL1)
+	j := len(m.inflight)
 	m.inflight = append(m.inflight, done)
+	for j > 0 && m.inflight[j-1] > done {
+		m.inflight[j] = m.inflight[j-1]
+		j--
+	}
+	m.inflight[j] = done
 	m.stats.IssuedToDRAM++
 }

@@ -50,7 +50,7 @@ func newMPPFixture(t *testing.T, cfg MPPConfig) *mppFixture {
 		chip: &fakeChip{onChip: make(map[mem.Addr]bool)},
 		ids:  make(map[mem.Addr][]uint32),
 	}
-	scan := func(vline mem.Addr) []uint32 { return fx.ids[vline] }
+	scan := func(vline mem.Addr, ids []uint32) []uint32 { return append(ids, fx.ids[vline]...) }
 	props := []PropArray{{Base: prop.Base, Elem: 4, Count: prop.Size / 4}}
 	fx.mpp = NewMPP(cfg, fx.chip, as, scan, props)
 	return fx

@@ -48,10 +48,12 @@ type Req struct {
 type L2Prefetcher interface {
 	// Name identifies the prefetcher in stats and experiment output.
 	Name() string
-	// OnAccess observes one L1 miss (plus L2 outcome) and returns any
-	// prefetch requests to issue now. The returned slice is only valid
-	// until the next call.
-	OnAccess(ev AccessInfo) []Req
+	// OnAccess observes one L1 miss (plus L2 outcome) and appends any
+	// prefetch requests to issue now onto reqs, returning the extended
+	// slice. The caller owns the buffer and reuses it across calls, so
+	// implementations must not retain it; passing a zero-length slice
+	// with spare capacity keeps the demand path allocation-free.
+	OnAccess(ev AccessInfo, reqs []Req) []Req
 }
 
 // Nop is the no-prefetch baseline.
@@ -61,4 +63,4 @@ type Nop struct{}
 func (Nop) Name() string { return "nopf" }
 
 // OnAccess implements L2Prefetcher.
-func (Nop) OnAccess(AccessInfo) []Req { return nil }
+func (Nop) OnAccess(_ AccessInfo, reqs []Req) []Req { return reqs }

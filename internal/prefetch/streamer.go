@@ -48,7 +48,6 @@ type Streamer struct {
 	cfg      StreamerConfig
 	trackers []tracker
 	tick     uint64
-	reqs     []Req
 
 	// Stats.
 	Allocations          uint64
@@ -73,15 +72,14 @@ func (s *Streamer) Name() string {
 }
 
 // OnAccess implements L2Prefetcher.
-func (s *Streamer) OnAccess(ev AccessInfo) []Req {
-	s.reqs = s.reqs[:0]
+func (s *Streamer) OnAccess(ev AccessInfo, reqs []Req) []Req {
 	// The conventional streamer snoops every L1-miss address in the L2
 	// request queue (Fig. 9(a)); the data-aware variant admits only
 	// structure-bit requests, with L2 hits on structure lines serving as
 	// feedback (Fig. 9(b) ❷).
 	if s.cfg.DataAware && !ev.StructureBit {
 		s.RejectedNonStructure++
-		return nil
+		return reqs
 	}
 
 	page := ev.VAddr >> mem.PageShift
@@ -93,7 +91,7 @@ func (s *Streamer) OnAccess(ev AccessInfo) []Req {
 		tr = s.allocate(page, ev.Core)
 		tr.lastLine = lineIdx
 		tr.lru = s.tick
-		return nil
+		return reqs
 	}
 	tr.lru = s.tick
 
@@ -101,7 +99,7 @@ func (s *Streamer) OnAccess(ev AccessInfo) []Req {
 		switch {
 		case tr.dir == 0:
 			if lineIdx == tr.lastLine {
-				return nil
+				return reqs
 			}
 			if lineIdx > tr.lastLine {
 				tr.dir = 1
@@ -124,7 +122,7 @@ func (s *Streamer) OnAccess(ev AccessInfo) []Req {
 			tr.frontier = lineIdx + tr.dir
 		}
 		if !tr.active {
-			return nil
+			return reqs
 		}
 	}
 	tr.lastLine = lineIdx
@@ -138,7 +136,7 @@ func (s *Streamer) OnAccess(ev AccessInfo) []Req {
 			break // stops at page boundary
 		}
 		addr := (page << mem.PageShift) | uint64(tr.frontier<<mem.LineShift)
-		s.reqs = append(s.reqs, Req{
+		reqs = append(reqs, Req{
 			Core:       ev.Core,
 			VAddr:      addr,
 			CBit:       s.cfg.DataAware,
@@ -149,7 +147,7 @@ func (s *Streamer) OnAccess(ev AccessInfo) []Req {
 		tr.frontier += tr.dir
 		issued++
 	}
-	return s.reqs
+	return reqs
 }
 
 func (s *Streamer) find(page uint64) *tracker {

@@ -28,15 +28,17 @@ type dhbEntry struct {
 }
 
 // lruTable is a small bounded map with FIFO-ish eviction, standing in for
-// a set-associative SRAM table.
+// a set-associative SRAM table. The eviction order lives in a fixed ring
+// buffer so steady-state inserts never allocate.
 type lruTable struct {
 	m     map[uint64]int64
-	order []uint64
-	cap   int
+	order []uint64 // FIFO ring of keys
+	head  int
+	n     int
 }
 
 func newLRUTable(capacity int) *lruTable {
-	return &lruTable{m: make(map[uint64]int64, capacity), cap: capacity}
+	return &lruTable{m: make(map[uint64]int64, capacity), order: make([]uint64, capacity)}
 }
 
 func (t *lruTable) get(k uint64) (int64, bool) {
@@ -46,12 +48,14 @@ func (t *lruTable) get(k uint64) (int64, bool) {
 
 func (t *lruTable) put(k uint64, v int64) {
 	if _, ok := t.m[k]; !ok {
-		if len(t.m) >= t.cap {
-			oldest := t.order[0]
-			t.order = t.order[1:]
+		if len(t.m) >= len(t.order) {
+			oldest := t.order[t.head]
+			t.head = (t.head + 1) % len(t.order)
+			t.n--
 			delete(t.m, oldest)
 		}
-		t.order = append(t.order, k)
+		t.order[(t.head+t.n)%len(t.order)] = k
+		t.n++
 	}
 	t.m[k] = v
 }
@@ -67,7 +71,7 @@ type VLDP struct {
 	opt  *lruTable   // first line offset → predicted first delta
 	dpts []*lruTable // dpts[i] keyed by (i+1)-delta history
 	tick uint64
-	reqs []Req
+	hist []int64 // prediction-walk scratch, reused across accesses
 
 	Issued uint64
 }
@@ -78,9 +82,13 @@ func NewVLDP(cfg VLDPConfig) *VLDP {
 		panic("prefetch: bad VLDP config")
 	}
 	v := &VLDP{
-		cfg: cfg,
-		dhb: make([]dhbEntry, cfg.DHBPages),
-		opt: newLRUTable(cfg.OPTSize),
+		cfg:  cfg,
+		dhb:  make([]dhbEntry, cfg.DHBPages),
+		opt:  newLRUTable(cfg.OPTSize),
+		hist: make([]int64, 0, cfg.NumDPTs),
+	}
+	for i := range v.dhb {
+		v.dhb[i].deltas = make([]int64, 0, cfg.NumDPTs)
 	}
 	for i := 0; i < cfg.NumDPTs; i++ {
 		v.dpts = append(v.dpts, newLRUTable(cfg.DPTSize))
@@ -101,11 +109,10 @@ func histKey(deltas []int64, n int) uint64 {
 }
 
 // OnAccess implements L2Prefetcher. VLDP trains on L2 misses.
-func (v *VLDP) OnAccess(ev AccessInfo) []Req {
+func (v *VLDP) OnAccess(ev AccessInfo, reqs []Req) []Req {
 	if ev.L2Hit {
-		return nil
+		return reqs
 	}
-	v.reqs = v.reqs[:0]
 	page := ev.VAddr >> mem.PageShift
 	lineIdx := int64(ev.VAddr>>mem.LineShift) & (linesPerPage - 1)
 	v.tick++
@@ -117,14 +124,14 @@ func (v *VLDP) OnAccess(ev AccessInfo) []Req {
 		e.lru = v.tick
 		// First touch of the page: consult the OPT.
 		if d, ok := v.opt.get(uint64(lineIdx)); ok {
-			v.emit(ev.Core, page, lineIdx+d)
+			reqs = v.emit(reqs, ev.Core, page, lineIdx+d)
 		}
-		return v.reqs
+		return reqs
 	}
 	e.lru = v.tick
 	delta := lineIdx - e.lastLine
 	if delta == 0 {
-		return nil
+		return reqs
 	}
 
 	// Train the OPT with the first observed delta of this page visit and
@@ -135,15 +142,13 @@ func (v *VLDP) OnAccess(ev AccessInfo) []Req {
 	for n := 1; n <= v.cfg.NumDPTs && n <= len(e.deltas); n++ {
 		v.dpts[n-1].put(histKey(e.deltas, n), delta)
 	}
-	e.deltas = append(e.deltas, delta)
-	if len(e.deltas) > v.cfg.NumDPTs {
-		e.deltas = e.deltas[len(e.deltas)-v.cfg.NumDPTs:]
-	}
+	e.deltas = shiftIn(e.deltas, delta, v.cfg.NumDPTs)
 	e.lastLine = lineIdx
 
 	// Predict: walk forward, always preferring the longest matching
-	// history (the paper's cascade priority).
-	hist := append([]int64(nil), e.deltas...)
+	// history (the paper's cascade priority). The walk reuses the scratch
+	// buffer so prediction never allocates.
+	hist := append(v.hist[:0], e.deltas...)
 	cur := lineIdx
 	for issued := 0; issued < v.cfg.MaxDegree; issued++ {
 		d, ok := v.predict(hist)
@@ -154,13 +159,23 @@ func (v *VLDP) OnAccess(ev AccessInfo) []Req {
 		if cur < 0 || cur >= linesPerPage {
 			break // VLDP predictions stay within the page
 		}
-		v.emit(ev.Core, page, cur)
-		hist = append(hist, d)
-		if len(hist) > v.cfg.NumDPTs {
-			hist = hist[len(hist)-v.cfg.NumDPTs:]
-		}
+		reqs = v.emit(reqs, ev.Core, page, cur)
+		hist = shiftIn(hist, d, v.cfg.NumDPTs)
 	}
-	return v.reqs
+	v.hist = hist[:0]
+	return reqs
+}
+
+// shiftIn appends d to s keeping only the newest maxLen entries, shifting
+// in place so the backing array (preallocated with cap maxLen) is reused.
+func shiftIn(s []int64, d int64, maxLen int) []int64 {
+	if len(s) < maxLen {
+		return append(s, d)
+	}
+	copy(s, s[len(s)-maxLen+1:])
+	s = s[:maxLen]
+	s[maxLen-1] = d
+	return s
 }
 
 func (v *VLDP) predict(hist []int64) (int64, bool) {
@@ -172,10 +187,10 @@ func (v *VLDP) predict(hist []int64) (int64, bool) {
 	return 0, false
 }
 
-func (v *VLDP) emit(core int, page uint64, lineIdx int64) {
+func (v *VLDP) emit(reqs []Req, core int, page uint64, lineIdx int64) []Req {
 	addr := (page << mem.PageShift) | uint64(lineIdx<<mem.LineShift)
-	v.reqs = append(v.reqs, Req{Core: core, VAddr: addr})
 	v.Issued++
+	return append(reqs, Req{Core: core, VAddr: addr})
 }
 
 func (v *VLDP) findDHB(page uint64) *dhbEntry {
@@ -201,6 +216,7 @@ func (v *VLDP) allocDHB(page uint64) *dhbEntry {
 			victim = i
 		}
 	}
-	v.dhb[victim] = dhbEntry{page: page, used: true}
-	return &v.dhb[victim]
+	e := &v.dhb[victim]
+	*e = dhbEntry{page: page, used: true, deltas: e.deltas[:0]}
+	return e
 }

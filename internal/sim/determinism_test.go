@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"droplet/internal/core"
+	"droplet/internal/graph"
+	"droplet/internal/trace"
+)
+
+// TestQuantumDriverMatchesReference pins the quantum scheduler to the
+// per-event reference loop: for every (kernel, prefetcher) permutation the
+// two drivers must produce bit-identical results — same cycles, same
+// per-core counters, same hierarchy and DRAM statistics. The quantum
+// driver exists purely as a faster encoding of the reference's step
+// sequence (elect the min-clock core once, then keep stepping it while it
+// would keep winning re-election), so any divergence here is a scheduling
+// bug, not a modeling change.
+func TestQuantumDriverMatchesReference(t *testing.T) {
+	g, err := graph.Kron(10, 8, graph.GenOptions{Seed: 7, Symmetrize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := graph.LargestComponentSource(g)
+
+	traces := map[string]*trace.Trace{}
+	prTr, _ := trace.PageRank(g, g.Transpose(), trace.Options{Cores: 4, PRIters: 2})
+	traces["PR"] = prTr
+	bfsTr, _ := trace.BFS(g, src, trace.Options{Cores: 4})
+	traces["BFS"] = bfsTr
+
+	cfg := DefaultConfig()
+	// Shrink the caches (fig11-style quick machine) so the traces actually
+	// stress misses, prefetch timing, and barrier scheduling.
+	cfg.L1.SizeBytes = 2 << 10
+	cfg.L2.SizeBytes = 16 << 10
+	cfg.LLC.SizeBytes = 32 << 10
+
+	kinds := []core.PrefetcherKind{core.NoPrefetch, core.GHB, core.Stream, core.DROPLET}
+	for name, tr := range traces {
+		for _, kind := range kinds {
+			t.Run(name+"/"+kind.String(), func(t *testing.T) {
+				c := cfg
+				c.Prefetcher = kind
+				ref, err := run(tr, c, driveReference)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := run(tr, c, driveQuantum)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Cycles != ref.Cycles {
+					t.Errorf("cycles: quantum %d, reference %d", got.Cycles, ref.Cycles)
+				}
+				if got.Instructions != ref.Instructions {
+					t.Errorf("instructions: quantum %d, reference %d", got.Instructions, ref.Instructions)
+				}
+				if !reflect.DeepEqual(got.CoreStats, ref.CoreStats) {
+					t.Errorf("per-core stats diverge:\nquantum   %+v\nreference %+v", got.CoreStats, ref.CoreStats)
+				}
+				if !reflect.DeepEqual(*got.Hier.Stats(), *ref.Hier.Stats()) {
+					t.Errorf("hierarchy stats diverge:\nquantum   %+v\nreference %+v", *got.Hier.Stats(), *ref.Hier.Stats())
+				}
+				if !reflect.DeepEqual(*got.Hier.MC().Stats(), *ref.Hier.MC().Stats()) {
+					t.Errorf("DRAM stats diverge:\nquantum   %+v\nreference %+v", *got.Hier.MC().Stats(), *ref.Hier.MC().Stats())
+				}
+				if !reflect.DeepEqual(*got.Hier.LLC().Stats(), *ref.Hier.LLC().Stats()) {
+					t.Errorf("LLC stats diverge:\nquantum   %+v\nreference %+v", *got.Hier.LLC().Stats(), *ref.Hier.LLC().Stats())
+				}
+			})
+		}
+	}
+}

@@ -89,6 +89,14 @@ type Result struct {
 
 // Run simulates tr on a machine built from cfg.
 func Run(tr *trace.Trace, cfg Config) (*Result, error) {
+	return run(tr, cfg, driveQuantum)
+}
+
+// run builds the machine and lets drive push every core through its
+// stream. The two drivers (quantum and per-event reference) execute the
+// identical step sequence; the reference loop survives purely as the
+// determinism-test oracle for the quantum scheduler.
+func run(tr *trace.Trace, cfg Config, drive func([]*cpu.Core)) (*Result, error) {
 	if cfg.Cores != tr.NumCores() {
 		return nil, fmt.Errorf("sim: machine has %d cores but trace has %d streams", cfg.Cores, tr.NumCores())
 	}
@@ -105,10 +113,32 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 	for i := range cores {
 		cores[i] = cpu.NewCore(i, cfg.CPU, h, tr.PerCore[i])
 	}
+	drive(cores)
 
-	// Event loop: always step the runnable core with the smallest local
-	// clock; when every unfinished core is parked at a barrier, release
-	// them together at the latest arrival time.
+	res := &Result{
+		Config:     cfg,
+		CoreStats:  make([]cpu.Stats, cfg.Cores),
+		Hier:       h,
+		Attachment: att,
+	}
+	for i, c := range cores {
+		s := *c.Stats()
+		res.CoreStats[i] = s
+		if s.Cycles > res.Cycles {
+			res.Cycles = s.Cycles
+		}
+		res.Instructions += s.Instructions
+	}
+	return res, nil
+}
+
+// driveReference is the original per-event loop: every iteration rescans
+// all cores and steps the runnable one with the smallest local clock (ties
+// to the lowest index); when every unfinished core is parked at a barrier,
+// they release together at the latest arrival time. O(cores) per event —
+// kept only as the oracle the determinism tests compare driveQuantum
+// against.
+func driveReference(cores []*cpu.Core) {
 	for {
 		var next *cpu.Core
 		var nextClock int64
@@ -127,41 +157,103 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 			}
 		}
 		if allDone {
-			break
+			return
 		}
 		if next == nil {
-			// Barrier release.
-			var t int64
-			for _, c := range cores {
-				if clk := c.Clock(); clk > t {
-					t = clk
-				}
-			}
-			for _, c := range cores {
-				if c.AtBarrier() {
-					c.PassBarrier(t)
-				}
-			}
+			releaseBarrier(cores)
 			continue
 		}
 		next.Step()
 	}
+}
 
-	res := &Result{
-		Config:     cfg,
-		CoreStats:  make([]cpu.Stats, cfg.Cores),
-		Hier:       h,
-		Attachment: att,
-	}
-	for i, c := range cores {
-		s := *c.Stats()
-		res.CoreStats[i] = s
-		if s.Cycles > res.Cycles {
-			res.Cycles = s.Cycles
+// driveQuantum executes the same step sequence as driveReference without
+// the per-event rescan: after electing the minimum-clock core it keeps
+// stepping that core for as long as the reference loop would have
+// re-elected it — i.e. until its clock passes the runner-up's (stepping a
+// core never moves any other core's clock, barrier, or done state, so the
+// runner-up computed once stays valid for the whole quantum). Each quantum
+// is a long single-core, single-stream run, which is also what the host
+// CPU's branch predictors and caches want to see.
+func driveQuantum(cores []*cpu.Core) {
+	for {
+		// Elect the (clock, index)-lexicographic minimum runnable core —
+		// exactly the reference loop's selection rule — and track the same
+		// lexicographic minimum over the remaining runnable cores (the
+		// runner-up). Ties resolve to the lower index in both scans: a
+		// strict < keeps the first-seen minimum while scanning in index
+		// order, and when a new best displaces the old one, the old best
+		// is lexicographically below the old runner-up by the same
+		// invariant, so it becomes the new runner-up.
+		bestIdx, runnerIdx := -1, -1
+		var bestClk, runnerClk int64
+		allDone := true
+		for i, c := range cores {
+			if c.Done() {
+				continue
+			}
+			allDone = false
+			if c.AtBarrier() {
+				continue
+			}
+			clk := c.Clock()
+			switch {
+			case bestIdx < 0:
+				bestIdx, bestClk = i, clk
+			case clk < bestClk:
+				runnerIdx, runnerClk = bestIdx, bestClk
+				bestIdx, bestClk = i, clk
+			case runnerIdx < 0 || clk < runnerClk:
+				runnerIdx, runnerClk = i, clk
+			}
 		}
-		res.Instructions += s.Instructions
+		if allDone {
+			return
+		}
+		if bestIdx < 0 {
+			releaseBarrier(cores)
+			continue
+		}
+		next := cores[bestIdx]
+		if runnerIdx < 0 {
+			// Sole runnable core: drain it to its next barrier (or the end
+			// of its stream) in one go.
+			for !next.Done() && !next.AtBarrier() {
+				next.Step()
+			}
+			continue
+		}
+		// The elected core keeps winning re-election while its clock stays
+		// below the runner-up's, or equals it with the lower index. A step
+		// never moves another core's clock, barrier, or done state, so the
+		// runner-up computed once stays valid for the whole quantum.
+		tieWins := bestIdx < runnerIdx
+		for {
+			next.Step()
+			if next.Done() || next.AtBarrier() {
+				break
+			}
+			if clk := next.Clock(); clk > runnerClk || (clk == runnerClk && !tieWins) {
+				break
+			}
+		}
 	}
-	return res, nil
+}
+
+// releaseBarrier opens the barrier every unfinished core is parked at,
+// at the latest arrival time.
+func releaseBarrier(cores []*cpu.Core) {
+	var t int64
+	for _, c := range cores {
+		if clk := c.Clock(); clk > t {
+			t = clk
+		}
+	}
+	for _, c := range cores {
+		if c.AtBarrier() {
+			c.PassBarrier(t)
+		}
+	}
 }
 
 // IPC returns aggregate instructions per cycle across all cores.

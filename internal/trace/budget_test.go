@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"testing"
+
+	"droplet/internal/mem"
+)
+
+// TestBarrierRespectsBudget covers the budget-exhausted-at-barrier edge: a
+// barrier needs one stored event per core, and when the remaining budget
+// cannot hold all of them the builder must truncate without emitting any —
+// a partial barrier would deadlock the simulated cores, and overshooting
+// the cap made Events() exceed the configured budget.
+func TestBarrierRespectsBudget(t *testing.T) {
+	b := NewBuilder(nil, 2, 3)
+
+	if idx := b.Load(0, mem.Addr(0x40), mem.Structure, NoDep); idx != 0 {
+		t.Fatalf("first load index = %d, want 0", idx)
+	}
+	// stored=1, budget=3: the 2-core barrier fits exactly (1+2 == 3).
+	b.Barrier()
+	if b.Done() {
+		t.Fatal("builder truncated on a barrier that fits the budget")
+	}
+	// stored=3: another barrier would need 2 more events — must truncate
+	// all-or-nothing, emitting on neither core.
+	b.Barrier()
+	if !b.Done() {
+		t.Fatal("builder not truncated by over-budget barrier")
+	}
+
+	tr := b.Build()
+	if !tr.Truncated {
+		t.Error("trace not marked truncated")
+	}
+	if got := tr.Events(); got != 3 {
+		t.Errorf("stored events = %d, want exactly the budget 3", got)
+	}
+	if n0, n1 := len(tr.PerCore[0]), len(tr.PerCore[1]); n0 != 2 || n1 != 1 {
+		t.Errorf("per-core events = %d/%d, want 2/1 (no partial barrier)", n0, n1)
+	}
+	for c, stream := range tr.PerCore {
+		last := stream[len(stream)-1]
+		if c == 0 && last.Kind != KindBarrier {
+			t.Errorf("core 0 tail = %v, want the in-budget barrier", last.Kind)
+		}
+	}
+
+	// After truncation, further emission is a no-op but instruction
+	// accounting continues (results stay exact).
+	insts := tr.Instructions
+	b.Compute(1, 5)
+	if dep := b.Load(1, mem.Addr(0x80), mem.Property, NoDep); dep != NoDep {
+		t.Errorf("post-truncation load returned index %d, want NoDep", dep)
+	}
+	if got := b.Build().Instructions; got != insts+6 {
+		t.Errorf("post-truncation instructions = %d, want %d", got, insts+6)
+	}
+	if got := b.Build().Events(); got != 3 {
+		t.Errorf("post-truncation stored events = %d, want 3", got)
+	}
+}

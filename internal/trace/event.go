@@ -123,9 +123,18 @@ func (b *Builder) Store(c int, addr mem.Addr, dt mem.DataType, dep int32) {
 	b.push(c, Event{Addr: addr, Dep: dep, Comp: b.take(c), Kind: KindStore, DType: dt})
 }
 
-// Barrier emits a synchronization point into every core's stream.
+// Barrier emits a synchronization point into every core's stream. A
+// barrier is all-or-nothing: it needs one stored event per core, and if
+// that would exceed the budget it triggers truncation instead of emitting
+// — a partially-emitted barrier would deadlock the simulated cores, and
+// quietly overshooting the cap (the old behavior) made the stored-event
+// count exceed the budget by up to cores-1 events.
 func (b *Builder) Barrier() {
 	if b.trunc {
+		return
+	}
+	if b.budget > 0 && b.stored+int64(len(b.cores)) > b.budget {
+		b.trunc = true
 		return
 	}
 	for c := range b.cores {

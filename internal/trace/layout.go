@@ -42,19 +42,19 @@ func NewLayout(g *graph.CSR) *Layout {
 	return l
 }
 
-// ScanStructureLine returns the neighbor IDs stored in the structure
-// cacheline at virtual line address vline — the PAG's parallel scan of a
-// prefetched structure cacheline (8 or 16 IDs per line depending on the
-// weighted-graph granularity). It returns nil for addresses outside the
-// structure region.
-func (l *Layout) ScanStructureLine(vline mem.Addr) []uint32 {
+// ScanStructureLine appends the neighbor IDs stored in the structure
+// cacheline at virtual line address vline onto ids — the PAG's parallel
+// scan of a prefetched structure cacheline (8 or 16 IDs per line depending
+// on the weighted-graph granularity). Addresses outside the structure
+// region append nothing. The caller owns the buffer (prefetch.LineScanner
+// contract), so the scan never allocates in steady state.
+func (l *Layout) ScanStructureLine(vline mem.Addr, ids []uint32) []uint32 {
 	if !l.Structure.Contains(vline) {
-		return nil
+		return ids
 	}
 	first := int64((vline - l.Structure.Base) / l.StructEntry)
 	count := int64(mem.LineSize / l.StructEntry)
 	edges := l.graph.NumEdges()
-	ids := make([]uint32, 0, count)
 	for i := first; i < first+count && i < edges; i++ {
 		ids = append(ids, l.graph.NeighborAt(i))
 	}
