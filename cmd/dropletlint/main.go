@@ -1,0 +1,58 @@
+// Command dropletlint runs the droplet static-analysis suite over the
+// module containing the working directory (or the directory given as the
+// sole argument; a trailing "./..." is accepted and ignored, since the
+// suite always covers the whole module).
+//
+//	go run ./cmd/dropletlint ./...
+//
+// It prints one line per finding in go-vet style
+//
+//	path/file.go:12:3: [detmap] nondeterministic map iteration ...
+//
+// and exits 1 when anything is found, 2 on load errors. The suite and
+// the invariants it enforces are documented in internal/analysis and in
+// DESIGN.md ("Static invariants").
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"droplet/internal/analysis"
+	"droplet/internal/analysis/framework"
+)
+
+func main() {
+	dir := "."
+	for _, arg := range os.Args[1:] {
+		switch arg {
+		case "./...", "...":
+			// whole-module is the only granularity; accepted for muscle memory
+		default:
+			dir = arg
+		}
+	}
+
+	mod, err := framework.LoadGoModule(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dropletlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(mod)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dropletlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		pos := d.Position
+		if rel, err := filepath.Rel(".", pos.Filename); err == nil && len(rel) < len(pos.Filename) {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dropletlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,96 @@
+// Package analysis assembles the dropletlint analyzers and the package
+// scoping that decides where each one applies. The analyzers themselves
+// (detmap, nondet, hotalloc, scratch) are scope-agnostic — they check
+// whatever package they are handed, which is what lets analysistest run
+// them over fixture trees — while this package pins down which invariants
+// hold where in the droplet module:
+//
+//   - detmap and nondet apply to the deterministic simulation core and
+//     (for detmap) the experiment table emission: a map iteration or a
+//     wall-clock read there changes published numbers between runs.
+//   - hotalloc and scratch apply module-wide: //droplet:hotpath
+//     annotations and OnAccess scratch signatures carry their own scope.
+package analysis
+
+import (
+	"strings"
+
+	"droplet/internal/analysis/detmap"
+	"droplet/internal/analysis/framework"
+	"droplet/internal/analysis/hotalloc"
+	"droplet/internal/analysis/nondet"
+	"droplet/internal/analysis/scratch"
+)
+
+// simPackages are the deterministic simulation packages: everything the
+// bit-identical reproduction guarantee in DESIGN.md covers.
+var simPackages = []string{
+	"droplet/internal/sim",
+	"droplet/internal/cpu",
+	"droplet/internal/cache",
+	"droplet/internal/core",
+	"droplet/internal/dram",
+	"droplet/internal/mem",
+	"droplet/internal/memsys",
+	"droplet/internal/prefetch",
+	"droplet/internal/trace",
+}
+
+// ScopedAnalyzer pairs an analyzer with the import-path scope it runs
+// over. A nil scope means every package in the module.
+type ScopedAnalyzer struct {
+	Analyzer *framework.Analyzer
+	// Scope lists import paths (exact, or prefix when ending in "/...").
+	Scope []string
+}
+
+// Analyzers is the dropletlint suite in report order.
+var Analyzers = []ScopedAnalyzer{
+	// exp builds the figure tables; iteration order there leaks straight
+	// into published bytes, so detmap covers it too.
+	{Analyzer: detmap.Analyzer, Scope: append([]string{"droplet/internal/exp"}, simPackages...)},
+	{Analyzer: nondet.Analyzer, Scope: simPackages},
+	{Analyzer: hotalloc.Analyzer},
+	{Analyzer: scratch.Analyzer},
+}
+
+// inScope reports whether path falls under scope.
+func inScope(scope []string, path string) bool {
+	if scope == nil {
+		return true
+	}
+	for _, s := range scope {
+		if prefix, ok := strings.CutSuffix(s, "/..."); ok {
+			if path == prefix || strings.HasPrefix(path, prefix+"/") {
+				return true
+			}
+		} else if path == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the full suite over mod and returns all surviving
+// diagnostics — including malformed-directive findings — sorted by
+// position. Packages are visited in import-path order and analyzers in
+// suite order, so output is deterministic (the linter holds itself to the
+// standard it enforces).
+func Run(mod *framework.Module) ([]framework.Diagnostic, error) {
+	var all []framework.Diagnostic
+	for _, pkg := range mod.Packages {
+		all = append(all, framework.DirectiveDiagnostics(pkg)...)
+		for _, sa := range Analyzers {
+			if !inScope(sa.Scope, pkg.Path) {
+				continue
+			}
+			diags, err := framework.RunAnalyzer(sa.Analyzer, pkg)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, diags...)
+		}
+	}
+	framework.SortDiagnostics(all)
+	return all, nil
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"droplet/internal/analysis/framework"
+)
+
+// TestSeededViolations loads a fixture module under the real module path
+// and checks that every analyzer catches its planted violation — the
+// driver-level proof that the CI lint job (which exits nonzero on any
+// finding) fails when such code lands.
+func TestSeededViolations(t *testing.T) {
+	mod, err := framework.Load("testdata/seeded", "droplet")
+	if err != nil {
+		t.Fatalf("loading seeded fixture: %v", err)
+	}
+	diags, err := Run(mod)
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	got := make(map[string]int)
+	for _, d := range diags {
+		got[d.Analyzer]++
+		if !strings.HasSuffix(d.Position.Filename, "bad.go") {
+			t.Errorf("diagnostic outside fixture: %s", d)
+		}
+	}
+	want := map[string]int{
+		"detmap":    2, // Victims, plus reasonless (its directive is malformed, so no suppression)
+		"nondet":    1, // Stamp
+		"hotalloc":  1, // Touch
+		"scratch":   1, // keeper.OnAccess
+		"directive": 2, // both reason-less //droplet:allow forms
+	}
+	for name, n := range want {
+		if got[name] != n {
+			t.Errorf("analyzer %s: got %d findings, want %d", name, got[name], n)
+		}
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			t.Errorf("unexpected analyzer %s reported %d findings", name, got[name])
+		}
+	}
+}
+
+// TestRepoIsClean runs the full suite over the enclosing module: the
+// same check CI's lint job performs via cmd/dropletlint.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type check is slow; covered by the CI lint job")
+	}
+	mod, err := framework.LoadGoModule(".")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := Run(mod)
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+// TestInScope pins the scope-matching rules the driver config relies on.
+func TestInScope(t *testing.T) {
+	cases := []struct {
+		scope []string
+		path  string
+		want  bool
+	}{
+		{nil, "anything", true},
+		{[]string{"droplet/internal/sim"}, "droplet/internal/sim", true},
+		{[]string{"droplet/internal/sim"}, "droplet/internal/simx", false},
+		{[]string{"droplet/internal/sim"}, "droplet/internal/sim/sub", false},
+		{[]string{"droplet/internal/..."}, "droplet/internal/sim/sub", true},
+		{[]string{"droplet/internal/..."}, "droplet/internal", true},
+		{[]string{"droplet/internal/..."}, "droplet/internalx", false},
+	}
+	for _, c := range cases {
+		if got := inScope(c.scope, c.path); got != c.want {
+			t.Errorf("inScope(%v, %q) = %v, want %v", c.scope, c.path, got, c.want)
+		}
+	}
+}

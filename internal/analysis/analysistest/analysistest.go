@@ -1,0 +1,146 @@
+// Package analysistest runs a framework.Analyzer over fixture packages
+// and checks its diagnostics against // want comments, mirroring (a small
+// subset of) golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixture layout follows the upstream convention: testdata/src/<pkg>/...
+// with each <pkg> importable by its tree-relative name. A fixture line
+// expecting diagnostics carries a trailing comment of the form
+//
+//	code() // want `regexp` `another regexp`
+//
+// where each backquoted (or double-quoted) pattern must match the message
+// of a distinct diagnostic reported on that line, and every diagnostic
+// must be matched by some pattern. //droplet:allow suppression is applied
+// before matching, so fixtures can also prove the escape hatch works.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"droplet/internal/analysis/framework"
+)
+
+// Run loads testdata/src, runs a over each named fixture package, and
+// reports mismatches between diagnostics and // want comments on t.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgs ...string) {
+	t.Helper()
+	mod, err := framework.Load(filepath.Join(testdata, "src"), "")
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	for _, path := range pkgs {
+		pkg := mod.Lookup(path)
+		if pkg == nil {
+			t.Errorf("fixture package %q not found under %s/src", path, testdata)
+			continue
+		}
+		diags, err := framework.RunAnalyzer(a, pkg)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		checkPackage(t, mod.Fset, pkg, diags)
+	}
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	pos token.Position
+	re  *regexp.Regexp
+}
+
+func checkPackage(t *testing.T, fset *token.FileSet, pkg *framework.Package, diags []framework.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, fset, pkg)
+
+	unmatched := append([]framework.Diagnostic(nil), diags...)
+	for _, w := range wants {
+		found := -1
+		for i, d := range unmatched {
+			if d.Position.Filename == w.pos.Filename && d.Position.Line == w.pos.Line && w.re.MatchString(d.Message) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			t.Errorf("%s: no diagnostic matching %q", w.pos, w.re)
+			continue
+		}
+		unmatched = append(unmatched[:found], unmatched[found+1:]...)
+	}
+	for _, d := range unmatched {
+		t.Errorf("%s: unexpected diagnostic: %s", d.Position, d.Message)
+	}
+}
+
+// collectWants parses every // want comment in the package.
+func collectWants(t *testing.T, fset *token.FileSet, pkg *framework.Package) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if !strings.HasPrefix(strings.TrimSpace(text), "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				patterns, err := parsePatterns(text[idx+len("want "):])
+				if err != nil {
+					t.Errorf("%s: bad want comment: %v", pos, err)
+					continue
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", pos, p, err)
+						continue
+					}
+					wants = append(wants, want{pos: pos, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parsePatterns splits `\`re1\` "re2"` into its quoted pieces.
+func parsePatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte
+		switch s[0] {
+		case '`', '"':
+			quote = s[0]
+		default:
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated pattern in %q", s)
+		}
+		raw := s[:end+2]
+		if quote == '"' {
+			unq, err := strconv.Unquote(raw)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, unq)
+		} else {
+			out = append(out, raw[1:len(raw)-1])
+		}
+		s = strings.TrimSpace(s[end+2:])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want")
+	}
+	return out, nil
+}

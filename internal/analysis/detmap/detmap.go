@@ -1,0 +1,223 @@
+// Package detmap implements the dropletlint analyzer that flags ranging
+// over a map in deterministic simulation code. Go randomizes map
+// iteration order per run, so any map range whose effects are
+// order-sensitive (building a slice, emitting output, choosing a victim)
+// is a bit-determinism bug waiting for the right insertion pattern.
+//
+// Two shapes are recognized as provably safe and not reported:
+//
+//   - collect-then-sort: the loop body is exactly one append of the loop
+//     variables onto a local slice, and the first use of that slice after
+//     the loop is a sort call (sort.* / slices.Sort*). The iteration
+//     order then never escapes.
+//   - drain: the loop body is exactly delete(m, k) on the ranged map —
+//     removal of a set of keys is order-insensitive.
+//
+// Anything else needs either a rewrite (iterate sorted keys) or an
+// explicit //droplet:allow detmap -- <reason> directive.
+package detmap
+
+import (
+	"go/ast"
+	"go/types"
+
+	"droplet/internal/analysis/framework"
+)
+
+// Analyzer is the detmap pass.
+var Analyzer = &framework.Analyzer{
+	Name: "detmap",
+	Doc:  "flags map iteration whose nondeterministic order can escape into simulation results",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		var parents framework.ParentMap // built lazily: most files have no map ranges
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Pkg.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if parents == nil {
+				parents = framework.BuildParents(f)
+			}
+			if isDrainLoop(pass, rng) || isCollectThenSort(pass, parents, rng) {
+				return true
+			}
+			pass.Reportf(rng.Pos(),
+				"nondeterministic map iteration (over %s) escapes; iterate sorted keys, or annotate //droplet:allow detmap -- <reason>",
+				types.ExprString(rng.X))
+			return true
+		})
+	}
+	return nil
+}
+
+// isDrainLoop reports whether the body is exactly delete(m, k) on the
+// ranged map with the ranged key.
+func isDrainLoop(pass *framework.Pass, rng *ast.RangeStmt) bool {
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	es, ok := rng.Body.List[0].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if !isBuiltin(pass, call.Fun, "delete") {
+		return false
+	}
+	return sameObject(pass, call.Args[0], rng.X) && sameObject(pass, call.Args[1], rng.Key)
+}
+
+// isCollectThenSort recognizes the append-only accumulation loop whose
+// result is sorted before any other use.
+func isCollectThenSort(pass *framework.Pass, parents framework.ParentMap, rng *ast.RangeStmt) bool {
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	dst, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 || !isBuiltin(pass, call.Fun, "append") {
+		return false
+	}
+	if !sameObject(pass, call.Args[0], dst) {
+		return false
+	}
+	// The appended values may only depend on the loop variables (and the
+	// destination itself): anything else could smuggle order-sensitive
+	// state out of the loop.
+	loopObjs := make(map[types.Object]bool)
+	for _, v := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := v.(*ast.Ident); ok && id.Name != "_" {
+			loopObjs[pass.Pkg.Info.Defs[id]] = true
+		}
+	}
+	for _, arg := range call.Args[1:] {
+		okArg := true
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pass.Pkg.Info.Uses[id]; obj != nil {
+					if _, isVar := obj.(*types.Var); isVar && !loopObjs[obj] {
+						okArg = false
+					}
+				}
+			}
+			return okArg
+		})
+		if !okArg {
+			return false
+		}
+	}
+
+	dstObj := pass.Pkg.Info.Defs[dst]
+	if dstObj == nil {
+		dstObj = pass.Pkg.Info.Uses[dst]
+	}
+	if dstObj == nil {
+		return false
+	}
+
+	// Find the first use of dst after the loop within the enclosing
+	// function; it must be an argument of a sort call.
+	fn := parents.EnclosingFunc(rng)
+	if fn == nil {
+		return false
+	}
+	var first *ast.Ident
+	ast.Inspect(fn, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Pos() <= rng.End() {
+			return true
+		}
+		if pass.Pkg.Info.Uses[id] != dstObj {
+			return true
+		}
+		if first == nil || id.Pos() < first.Pos() {
+			first = id
+		}
+		return true
+	})
+	if first == nil {
+		return true // never used after the loop: the order cannot escape
+	}
+	for cur := ast.Node(first); cur != nil && cur != fn; cur = parents[cur] {
+		if call, ok := cur.(*ast.CallExpr); ok && isSortCall(pass, call) {
+			return true
+		}
+	}
+	return false
+}
+
+// isSortCall reports whether call invokes a recognized sorting function.
+func isSortCall(pass *framework.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		switch fn.Name() {
+		case "Slice", "SliceStable", "Sort", "Stable", "Strings", "Ints", "Float64s":
+			return true
+		}
+	case "slices":
+		switch fn.Name() {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}
+
+func isBuiltin(pass *framework.Pass, fun ast.Expr, name string) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.Pkg.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// sameObject reports whether a and b are uses of the same variable.
+func sameObject(pass *framework.Pass, a, b ast.Expr) bool {
+	ida, ok := ast.Unparen(a).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	idb, ok := ast.Unparen(b).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	oa := pass.Pkg.Info.Uses[ida]
+	if oa == nil {
+		oa = pass.Pkg.Info.Defs[ida]
+	}
+	ob := pass.Pkg.Info.Uses[idb]
+	if ob == nil {
+		ob = pass.Pkg.Info.Defs[idb]
+	}
+	return oa != nil && oa == ob
+}

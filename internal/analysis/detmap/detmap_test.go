@@ -1,0 +1,12 @@
+package detmap_test
+
+import (
+	"testing"
+
+	"droplet/internal/analysis/analysistest"
+	"droplet/internal/analysis/detmap"
+)
+
+func TestDetmap(t *testing.T) {
+	analysistest.Run(t, "testdata", detmap.Analyzer, "a")
+}

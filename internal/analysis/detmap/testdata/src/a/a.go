@@ -1,0 +1,96 @@
+// Package a is the detmap fixture: every shape the analyzer must flag,
+// prove safe, or suppress.
+package a
+
+import (
+	"fmt"
+	"sort"
+
+	"slices"
+)
+
+type tally map[string]int
+
+// escape builds a slice in map order and returns it unsorted: flagged.
+func escape(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `nondeterministic map iteration \(over m\) escapes`
+		keys = append(keys, k)
+		_ = len(k)
+	}
+	return keys
+}
+
+// collectThenSort is the canonical safe shape: one append of the loop
+// variables, sorted before first use.
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectThenSlicesSort uses the slices package sorter.
+func collectThenSlicesSort(m map[int]bool) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// collectNoSort accumulates but never sorts: the order escapes.
+func collectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `nondeterministic map iteration \(over m\) escapes`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// collectSmuggle appends something beyond the loop variables, so even a
+// later sort does not prove the iteration order stayed contained.
+func collectSmuggle(m map[string]int, extra string) []string {
+	var keys []string
+	for k := range m { // want `nondeterministic map iteration \(over m\) escapes`
+		keys = append(keys, k+extra)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// drain deletes every key: order-insensitive by construction.
+func drain(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// namedType ranges over a named map type: still a map underneath.
+func namedType(t tally) {
+	for k, v := range t { // want `nondeterministic map iteration \(over t\) escapes`
+		fmt.Println(k, v)
+	}
+}
+
+// suppressed demonstrates the escape hatch.
+func suppressed(m map[string]int) int {
+	sum := 0
+	//droplet:allow detmap -- summation is commutative, order cannot escape
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// sliceRange iterates a slice: never flagged.
+func sliceRange(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,290 @@
+// Package framework is a minimal, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis driver surface: Analyzer, Pass, and
+// Diagnostic, plus a whole-module loader (load.go) built on go/parser and
+// go/types. The container this repo builds in has no module proxy access,
+// so vendoring x/tools is not an option; the API deliberately mirrors the
+// upstream shape (Name/Doc/Run, Pass.Reportf) so the analyzers under
+// internal/analysis/* could be ported to a real multichecker by swapping
+// this package out.
+//
+// Two source directives are recognized:
+//
+//	//droplet:hotpath
+//	    In a function's doc comment: marks the function (and its
+//	    intra-module static callees) as part of the simulator's
+//	    allocation-free demand path, enforced by the hotalloc analyzer.
+//
+//	//droplet:allow <analyzer>[,<analyzer>...] -- <reason>
+//	    On the offending line, or alone on the line above it: suppresses
+//	    diagnostics from the named analyzers. The reason is mandatory;
+//	    a directive without one is itself reported.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check. The shape mirrors
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //droplet:allow directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run reports diagnostics on pass.Pkg via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic the way go vet does.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Position, d.Analyzer, d.Message)
+}
+
+// Package is one type-checked package of a loaded module.
+type Package struct {
+	// Path is the import path ("droplet/internal/cache"; fixture trees
+	// loaded with an empty module path use tree-relative paths).
+	Path string
+	// Dir is the absolute directory the sources were read from.
+	Dir string
+	// Files are the parsed non-test sources, sorted by file name.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// Module is the module this package was loaded as part of.
+	Module *Module
+
+	// allows maps file:line to the analyzer names a //droplet:allow
+	// directive on that line suppresses. A directive covers its own line
+	// and the next one, so it can trail the offending code or sit alone
+	// on the line above.
+	allows map[string]map[string]bool
+	// malformed holds diagnostics for unparsable directives. They are
+	// attributed to the special analyzer name "directive" and cannot be
+	// suppressed.
+	malformed []Diagnostic
+}
+
+// Module is a fully loaded and type-checked source tree.
+type Module struct {
+	// Path is the module path from go.mod ("" for fixture trees).
+	Path string
+	// Dir is the module root directory.
+	Dir  string
+	Fset *token.FileSet
+	// Packages is sorted by import path, so every traversal of the
+	// module — including the lint driver itself — is deterministic.
+	Packages []*Package
+
+	byPath map[string]*Package
+	cache  map[string]any
+}
+
+// Lookup returns the package with the given import path, or nil.
+func (m *Module) Lookup(path string) *Package { return m.byPath[path] }
+
+// Cache memoizes a module-wide computation under key. Analyzers that
+// need whole-module state (hotalloc's hot-function closure) build it once
+// here and reuse it for every per-package run.
+func (m *Module) Cache(key string, build func() any) any {
+	if v, ok := m.cache[key]; ok {
+		return v
+	}
+	v := build()
+	m.cache[key] = v
+	return v
+}
+
+// Pass carries one analyzer run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Module   *Module
+	Fset     *token.FileSet
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunAnalyzer runs a over pkg and returns the diagnostics that survive
+// //droplet:allow suppression, sorted by position.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{Analyzer: a, Pkg: pkg, Module: pkg.Module, Fset: pkg.Module.Fset}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	var kept []Diagnostic
+	for _, d := range pass.diags {
+		if !pkg.allowed(a.Name, d.Position) {
+			kept = append(kept, d)
+		}
+	}
+	SortDiagnostics(kept)
+	return kept, nil
+}
+
+// DirectiveDiagnostics returns findings about malformed //droplet:
+// directives in pkg (missing analyzer list or missing "-- reason").
+func DirectiveDiagnostics(pkg *Package) []Diagnostic {
+	return pkg.malformed
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, analyzer.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// allowed reports whether a diagnostic from analyzer at pos is covered by
+// a //droplet:allow directive on the same line or the line above.
+func (p *Package) allowed(analyzer string, pos token.Position) bool {
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if names := p.allows[fmt.Sprintf("%s:%d", pos.Filename, line)]; names[analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+const (
+	allowDirective   = "//droplet:allow"
+	hotPathDirective = "//droplet:hotpath"
+)
+
+// HasHotPathDirective reports whether the doc comment carries
+// //droplet:hotpath.
+func HasHotPathDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == hotPathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+// collectDirectives scans a file's comments for //droplet:allow entries,
+// filling pkg.allows and recording malformed directives.
+func (p *Package) collectDirectives(fset *token.FileSet, f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, allowDirective) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimPrefix(text, allowDirective)
+			names, _, ok := splitAllow(rest)
+			if !ok {
+				p.malformed = append(p.malformed, Diagnostic{
+					Pos:      c.Pos(),
+					Position: pos,
+					Analyzer: "directive",
+					Message:  `malformed //droplet:allow: want "//droplet:allow <analyzer>[,<analyzer>] -- <reason>"`,
+				})
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+			if p.allows[key] == nil {
+				p.allows[key] = make(map[string]bool)
+			}
+			for _, n := range names {
+				p.allows[key][n] = true
+			}
+		}
+	}
+}
+
+// splitAllow parses ` detmap,nondet -- reason text` into its parts.
+func splitAllow(rest string) (names []string, reason string, ok bool) {
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, "", false // e.g. //droplet:allowx
+	}
+	list, reason, found := strings.Cut(rest, "--")
+	reason = strings.TrimSpace(reason)
+	if !found || reason == "" {
+		return nil, "", false
+	}
+	for _, n := range strings.Split(list, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			return nil, "", false
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, "", false
+	}
+	return names, reason, true
+}
+
+// ParentMap records each AST node's parent within one file, for the
+// analyzers that need to reason about enclosing context (detmap's
+// sorted-before-escape proof, hotalloc's panic-argument exemption).
+type ParentMap map[ast.Node]ast.Node
+
+// BuildParents walks f and returns its parent map.
+func BuildParents(f *ast.File) ParentMap {
+	pm := make(ParentMap)
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			pm[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return pm
+}
+
+// EnclosingFunc returns the innermost function declaration or literal
+// containing n, or nil.
+func (pm ParentMap) EnclosingFunc(n ast.Node) ast.Node {
+	for cur := n; cur != nil; cur = pm[cur] {
+		switch cur.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return cur
+		}
+	}
+	return nil
+}

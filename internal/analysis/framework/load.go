@@ -1,0 +1,274 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Load parses and type-checks every non-test package in the tree rooted
+// at dir. modPath is the import-path prefix of the tree: the module path
+// from go.mod for a real module, or "" for analysistest fixture trees,
+// where import paths are tree-relative directory names ("a", "hot/dep").
+//
+// Standard-library imports are resolved by compiling from source out of
+// GOROOT (importer.ForCompiler "source"), so loading needs no network, no
+// module cache, and no pre-built export data. Directories named testdata,
+// vendor, or starting with "." or "_" are skipped, matching go-tool
+// convention — which is also what keeps the analyzers' own fixture trees
+// out of a whole-module lint run.
+func Load(dir, modPath string) (*Module, error) {
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	mod := &Module{
+		Path:   modPath,
+		Dir:    root,
+		Fset:   token.NewFileSet(),
+		byPath: make(map[string]*Package),
+		cache:  make(map[string]any),
+	}
+	ld := &loader{
+		mod:     mod,
+		dirs:    make(map[string]string),
+		loading: make(map[string]bool),
+	}
+	ld.std = importer.ForCompiler(mod.Fset, "source", nil).(types.ImporterFrom)
+
+	if err := ld.discover(root); err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, len(ld.dirs))
+	for p := range ld.dirs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if _, err := ld.load(p); err != nil {
+			return nil, err
+		}
+	}
+	// Registration happened in dependency order; re-sort by import path
+	// so module traversal order is stable regardless of import shape.
+	sort.Slice(mod.Packages, func(i, j int) bool {
+		return mod.Packages[i].Path < mod.Packages[j].Path
+	})
+	return mod, nil
+}
+
+// LoadGoModule loads the Go module rooted at (or above) dir, reading the
+// module path from its go.mod.
+func LoadGoModule(dir string) (*Module, error) {
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	return Load(root, modPath)
+}
+
+// findModuleRoot walks up from dir to the nearest directory with a go.mod.
+func findModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found at or above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}
+
+type loader struct {
+	mod *Module
+	// dirs maps import path → source directory for the module's packages.
+	dirs map[string]string
+	// loading detects import cycles.
+	loading map[string]bool
+	// std resolves non-module imports from GOROOT source.
+	std types.ImporterFrom
+}
+
+// discover walks the tree registering every directory that contains
+// buildable non-test Go files.
+func (ld *loader) discover(root string) error {
+	return filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		bp, err := build.ImportDir(path, 0)
+		if err != nil {
+			if _, ok := err.(*build.NoGoError); ok {
+				return nil
+			}
+			// A directory of ignored files (e.g. all build-tagged away)
+			// is not an error for the module as a whole.
+			if _, ok := err.(*build.MultiplePackageError); ok {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			return nil
+		}
+		if len(bp.GoFiles) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		ip := importPathFor(ld.mod.Path, rel)
+		if ip == "" {
+			return nil // files at a fixture root have no import path
+		}
+		ld.dirs[ip] = path
+		return nil
+	})
+}
+
+// importPathFor maps a tree-relative directory to an import path.
+func importPathFor(modPath, rel string) string {
+	rel = filepath.ToSlash(rel)
+	if rel == "." {
+		return modPath
+	}
+	if modPath == "" {
+		return rel
+	}
+	return modPath + "/" + rel
+}
+
+// load parses and type-checks one module package (memoized).
+func (ld *loader) load(path string) (*Package, error) {
+	if pkg, ok := ld.mod.byPath[path]; ok {
+		return pkg, nil
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	dir := ld.dirs[path]
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", dir, err)
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.mod.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: (*moduleImporter)(ld),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, ld.mod.Fset, files, info)
+	if len(typeErrs) > 0 {
+		msgs := make([]string, 0, len(typeErrs))
+		for _, e := range typeErrs {
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("type errors in %s:\n  %s", path, strings.Join(msgs, "\n  "))
+	}
+
+	pkg := &Package{
+		Path:   path,
+		Dir:    dir,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+		Module: ld.mod,
+		allows: make(map[string]map[string]bool),
+	}
+	for _, f := range files {
+		pkg.collectDirectives(ld.mod.Fset, f)
+	}
+	ld.mod.byPath[path] = pkg
+	ld.mod.Packages = append(ld.mod.Packages, pkg)
+	return pkg, nil
+}
+
+// moduleImporter routes module-internal imports back through the loader
+// and everything else to the GOROOT source importer.
+type moduleImporter loader
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	return mi.ImportFrom(path, mi.mod.Dir, 0)
+}
+
+func (mi *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	ld := (*loader)(mi)
+	if _, ok := ld.dirs[path]; ok {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if mp := mi.mod.Path; mp != "" && (path == mp || strings.HasPrefix(path, mp+"/")) {
+		return nil, fmt.Errorf("module package %s has no buildable Go files", path)
+	}
+	return ld.std.ImportFrom(path, dir, 0)
+}

@@ -1,0 +1,516 @@
+// Package hotalloc implements the dropletlint analyzer enforcing the
+// simulator's allocation-free demand path at compile time. Functions
+// annotated //droplet:hotpath — and every function they reach through
+// intra-module static calls — must not contain allocating constructs:
+//
+//   - slice or map composite literals, make, new, &T{...}
+//   - append onto a slice that is not rooted in a parameter, receiver
+//     field, or package-level buffer (a fresh local slice is a guaranteed
+//     per-call allocation; appending into a caller- or struct-owned
+//     buffer is amortized-free in steady state)
+//   - function literals (closures) and go statements
+//   - calls into fmt, and explicit conversions that box a concrete value
+//     into an interface
+//
+// Arguments of panic(...) are exempt: a panicking simulator is already
+// dead, so its error formatting is free to allocate. Calls through
+// interfaces or function values are not traversed — the concrete
+// implementations on the demand path (prefetcher OnAccess methods, the
+// MPP refill hook, the memory hierarchy entry points) carry their own
+// annotations instead.
+//
+// This check complements the runtime AllocsPerRun tests (memsys): those
+// prove the exercised path allocates zero bytes, this proves every
+// statically reachable path stays clean, including ones a test trace
+// never hits.
+package hotalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"droplet/internal/analysis/framework"
+)
+
+// Analyzer is the hotalloc pass.
+var Analyzer = &framework.Analyzer{
+	Name: "hotalloc",
+	Doc:  "reports allocating constructs in //droplet:hotpath functions and their static callees",
+	Run:  run,
+}
+
+// funcInfo ties a module function to its declaration site.
+type funcInfo struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+	pkg  *framework.Package
+}
+
+// hotState is the module-wide closure of hot functions, built once and
+// shared by every per-package run.
+type hotState struct {
+	funcs map[*types.Func]*funcInfo
+	// root maps each hot function to the annotated function it was
+	// reached from (itself when directly annotated).
+	root map[*types.Func]*types.Func
+}
+
+func run(pass *framework.Pass) error {
+	st := pass.Module.Cache("hotalloc", func() any { return buildHotState(pass.Module) }).(*hotState)
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if root, hot := st.root[fn]; hot {
+				checkFunc(pass, fd, fn, root)
+			}
+		}
+	}
+	return nil
+}
+
+// buildHotState collects every module function and computes the set
+// reachable from //droplet:hotpath annotations via static calls.
+func buildHotState(mod *framework.Module) *hotState {
+	st := &hotState{
+		funcs: make(map[*types.Func]*funcInfo),
+		root:  make(map[*types.Func]*types.Func),
+	}
+	var queue []*types.Func // BFS in deterministic declaration order
+	for _, pkg := range mod.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				st.funcs[fn] = &funcInfo{fn: fn, decl: fd, pkg: pkg}
+				if framework.HasHotPathDirective(fd.Doc) {
+					st.root[fn] = fn
+					queue = append(queue, fn)
+				}
+			}
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		info := st.funcs[fn]
+		for _, callee := range callees(st, info) {
+			if _, seen := st.root[callee]; seen {
+				continue
+			}
+			st.root[callee] = st.root[fn]
+			queue = append(queue, callee)
+		}
+	}
+	return st
+}
+
+// callees returns the module functions info calls directly, in source
+// order. Calls through interfaces, function values, and method values
+// resolve to nothing here and are intentionally skipped — the concrete
+// implementations behind hot interfaces carry their own annotations.
+// Stdlib callees and bodiless declarations drop out via the funcs map.
+func callees(st *hotState, info *funcInfo) []*types.Func {
+	var out []*types.Func
+	seen := make(map[*types.Func]bool)
+	ast.Inspect(info.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var obj types.Object
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			obj = info.pkg.Info.Uses[fun]
+		case *ast.SelectorExpr:
+			obj = info.pkg.Info.Uses[fun.Sel]
+		}
+		fn, ok := obj.(*types.Func)
+		if !ok || seen[fn] {
+			return true
+		}
+		if _, inModule := st.funcs[fn]; !inModule {
+			return true
+		}
+		seen[fn] = true
+		out = append(out, fn)
+		return true
+	})
+	return out
+}
+
+// checkFunc walks one hot function's body reporting allocations.
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl, fn, root *types.Func) {
+	ctx := &checker{
+		pass:   pass,
+		fd:     fd,
+		fn:     fn,
+		root:   root,
+		params: paramObjects(pass, fd),
+	}
+	ctx.walk(fd.Body)
+}
+
+type checker struct {
+	pass   *framework.Pass
+	fd     *ast.FuncDecl
+	fn     *types.Func
+	root   *types.Func
+	params map[types.Object]bool
+}
+
+func (c *checker) reportf(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	if c.root != c.fn {
+		msg = fmt.Sprintf("%s (in %s, reached from //droplet:hotpath %s)", msg, shortName(c.fn), shortName(c.root))
+	} else {
+		msg = fmt.Sprintf("%s (in //droplet:hotpath %s)", msg, shortName(c.fn))
+	}
+	c.pass.Reportf(pos, "%s", msg)
+}
+
+// shortName renders a function like memsys.Access or (*Cache).Fill,
+// dropping the module path noise.
+func shortName(fn *types.Func) string {
+	full := fn.FullName()
+	full = strings.ReplaceAll(full, "droplet/internal/", "")
+	return strings.ReplaceAll(full, "droplet/", "")
+}
+
+// walk recursively inspects n, handling the skip rules (panic arguments,
+// closure bodies) that ast.Inspect cannot express.
+func (c *checker) walk(n ast.Node) {
+	if n == nil {
+		return
+	}
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		c.reportf(n.Pos(), "closure allocates")
+		return // body runs elsewhere; the allocation is the literal itself
+
+	case *ast.GoStmt:
+		c.reportf(n.Pos(), "go statement allocates a goroutine")
+		return
+
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				c.reportf(n.Pos(), "&%s{...} heap-allocates", typeString(c.pass, cl))
+				c.walkCompositeElts(cl)
+				return
+			}
+		}
+
+	case *ast.CompositeLit:
+		if tv, ok := c.pass.Pkg.Info.Types[ast.Expr(n)]; ok {
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice:
+				c.reportf(n.Pos(), "slice literal allocates")
+			case *types.Map:
+				c.reportf(n.Pos(), "map literal allocates")
+			}
+		}
+		c.walkCompositeElts(n)
+		return
+
+	case *ast.CallExpr:
+		if c.checkCall(n) {
+			return
+		}
+	}
+	// Default: recurse into children.
+	children(n, c.walk)
+}
+
+// walkCompositeElts recurses into a composite literal's elements without
+// re-reporting the literal itself.
+func (c *checker) walkCompositeElts(cl *ast.CompositeLit) {
+	for _, e := range cl.Elts {
+		c.walk(e)
+	}
+}
+
+// checkCall handles one call expression; it returns true when the walk
+// of the call (and its arguments) is already complete.
+func (c *checker) checkCall(call *ast.CallExpr) (handled bool) {
+	info := c.pass.Pkg.Info
+	fun := ast.Unparen(call.Fun)
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "panic":
+				// Cold by construction: a panicking simulator is dead, so
+				// its error formatting may allocate freely.
+				return true
+			case "make":
+				c.reportf(call.Pos(), "make allocates")
+			case "new":
+				c.reportf(call.Pos(), "new allocates")
+			case "append":
+				if len(call.Args) > 0 && !c.rooted(call.Args[0], nil) {
+					c.reportf(call.Pos(), "append to %s allocates: the destination is a fresh local slice, not a caller- or struct-owned buffer",
+						types.ExprString(call.Args[0]))
+				}
+			}
+			for _, a := range call.Args {
+				c.walk(a)
+			}
+			return true
+		}
+	}
+
+	// Explicit conversions, including boxing into an interface.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if atv, ok := info.Types[call.Args[0]]; ok && atv.Type != nil && !types.IsInterface(atv.Type) {
+				c.reportf(call.Pos(), "conversion boxes %s into %s and allocates",
+					atv.Type.String(), tv.Type.String())
+			}
+		}
+		for _, a := range call.Args {
+			c.walk(a)
+		}
+		return true
+	}
+
+	// Named function calls: fmt.*, and variadic interface{} boxing.
+	var callee *types.Func
+	switch f := fun.(type) {
+	case *ast.Ident:
+		callee, _ = info.Uses[f].(*types.Func)
+	case *ast.SelectorExpr:
+		callee, _ = info.Uses[f.Sel].(*types.Func)
+	}
+	if callee != nil && callee.Pkg() != nil {
+		if callee.Pkg().Path() == "fmt" {
+			c.reportf(call.Pos(), "call to fmt.%s allocates and boxes its operands", callee.Name())
+		} else if sig, ok := callee.Type().(*types.Signature); ok && boxesVariadicInterface(info, sig, call) {
+			c.reportf(call.Pos(), "call to %s boxes arguments into its ...%s parameter",
+				shortName(callee), variadicElem(sig))
+		}
+	}
+	return false
+}
+
+// boxesVariadicInterface reports whether call passes concrete values into
+// a trailing ...interface{} parameter.
+func boxesVariadicInterface(info *types.Info, sig *types.Signature, call *ast.CallExpr) bool {
+	if !sig.Variadic() || call.Ellipsis != token.NoPos {
+		return false
+	}
+	last := sig.Params().At(sig.Params().Len() - 1)
+	slice, ok := last.Type().(*types.Slice)
+	if !ok || !types.IsInterface(slice.Elem()) {
+		return false
+	}
+	fixed := sig.Params().Len() - 1
+	for i := fixed; i < len(call.Args); i++ {
+		if tv, ok := info.Types[call.Args[i]]; ok && tv.Type != nil && !types.IsInterface(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func variadicElem(sig *types.Signature) string {
+	last := sig.Params().At(sig.Params().Len() - 1)
+	if slice, ok := last.Type().(*types.Slice); ok {
+		return slice.Elem().String()
+	}
+	return "interface{}"
+}
+
+func typeString(pass *framework.Pass, cl *ast.CompositeLit) string {
+	if tv, ok := pass.Pkg.Info.Types[ast.Expr(cl)]; ok {
+		return tv.Type.String()
+	}
+	return "T"
+}
+
+// rooted reports whether expr refers to storage owned by the caller, the
+// receiver, or a package-level buffer — i.e. appending into it is the
+// reuse-a-scratch-buffer pattern, not a per-call allocation. A local
+// variable is rooted when every assignment to it has a rooted right-hand
+// side; one initialized by make/literal/nil (or never initialized) is
+// fresh, and appending to it allocates on every call.
+func (c *checker) rooted(expr ast.Expr, visiting map[types.Object]bool) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj := c.pass.Pkg.Info.Uses[e]
+		if obj == nil {
+			obj = c.pass.Pkg.Info.Defs[e]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return false
+		}
+		if c.params[obj] || v.IsField() {
+			return true
+		}
+		if v.Parent() == c.pass.Pkg.Types.Scope() {
+			return true // package-level buffer
+		}
+		if visiting[obj] {
+			return true // self-reference (w = w[:n]) keeps rootedness
+		}
+		if visiting == nil {
+			visiting = make(map[types.Object]bool)
+		}
+		visiting[obj] = true
+		defer delete(visiting, obj)
+		return c.localRooted(obj, visiting)
+	case *ast.SelectorExpr:
+		if sel, ok := c.pass.Pkg.Info.Selections[e]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok && v.IsField() {
+				return true // any field access: struct-owned storage
+			}
+			return false
+		}
+		// Qualified identifier (pkg.Var): package-level storage.
+		_, isVar := c.pass.Pkg.Info.Uses[e.Sel].(*types.Var)
+		return isVar
+	case *ast.IndexExpr:
+		return c.rooted(e.X, visiting)
+	case *ast.SliceExpr:
+		return c.rooted(e.X, visiting)
+	case *ast.StarExpr:
+		return c.rooted(e.X, visiting)
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := c.pass.Pkg.Info.Uses[id].(*types.Builtin); ok && len(e.Args) > 0 {
+				switch b.Name() {
+				case "append":
+					return c.rooted(e.Args[0], visiting)
+				case "make":
+					// The make itself is reported as the allocation;
+					// appending into that storage is not a second one.
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.CompositeLit:
+		return true // reported as a literal allocation at its own site
+	default:
+		return false
+	}
+}
+
+// localRooted scans the function body for assignments to obj and checks
+// every right-hand side is rooted.
+func (c *checker) localRooted(obj types.Object, visiting map[types.Object]bool) bool {
+	found := false
+	ok := true
+	ast.Inspect(c.fd.Body, func(n ast.Node) bool {
+		if !ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, isID := ast.Unparen(lhs).(*ast.Ident)
+				if !isID {
+					continue
+				}
+				lobj := c.pass.Pkg.Info.Defs[id]
+				if lobj == nil {
+					lobj = c.pass.Pkg.Info.Uses[id]
+				}
+				if lobj != obj {
+					continue
+				}
+				found = true
+				if len(n.Rhs) != len(n.Lhs) {
+					ok = false // multi-value call: origin unknown
+					return false
+				}
+				if !c.rooted(n.Rhs[i], visiting) {
+					ok = false
+					return false
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if c.pass.Pkg.Info.Defs[name] != obj {
+					continue
+				}
+				found = true
+				if len(n.Values) <= i {
+					ok = false // var x []T: starts nil, append allocates
+					return false
+				}
+				if !c.rooted(n.Values[i], visiting) {
+					ok = false
+					return false
+				}
+			}
+		case *ast.RangeStmt:
+			for _, v := range []ast.Expr{n.Key, n.Value} {
+				if id, isID := v.(*ast.Ident); isID && c.pass.Pkg.Info.Defs[id] == obj {
+					found = true
+					ok = false // a range copy is fresh storage
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found && ok
+}
+
+// paramObjects collects the parameter and receiver objects of fd.
+func paramObjects(pass *framework.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := pass.Pkg.Info.Defs[name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	add(fd.Recv)
+	add(fd.Type.Params)
+	add(fd.Type.Results)
+	return out
+}
+
+// children invokes fn on each direct child of n: ast.Inspect visits n
+// first, and returning false for every child stops it from descending,
+// so fn (which recurses through the checker's own walk) sees exactly the
+// direct children.
+func children(n ast.Node, fn func(ast.Node)) {
+	root := true
+	ast.Inspect(n, func(child ast.Node) bool {
+		if child == nil {
+			return false
+		}
+		if root {
+			root = false
+			return true
+		}
+		fn(child)
+		return false
+	})
+}

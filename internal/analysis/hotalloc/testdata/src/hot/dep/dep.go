@@ -1,0 +1,17 @@
+// Package dep proves hotalloc follows static calls across package
+// boundaries within the module.
+package dep
+
+// Leaf is reached from hot.Process.
+func Leaf(dst []int) []int {
+	tmp := []int{1} // want `slice literal allocates .* reached from`
+	return append(dst, tmp...)
+}
+
+// Noop is reached from hot.Spawn (via the go statement's call).
+func Noop() {}
+
+// Unreached allocates freely: nothing annotated calls it.
+func Unreached() []int {
+	return []int{1, 2, 3}
+}

@@ -1,0 +1,94 @@
+// Package hot is the hotalloc fixture: allocation constructs inside
+// annotated functions, the rootedness rules for append, and the panic
+// exemption. Cross-package reachability is proven through hot/dep.
+package hot
+
+import (
+	"fmt"
+
+	"hot/dep"
+)
+
+// Buf owns a reusable scratch slice.
+type Buf struct {
+	scratch []int
+}
+
+// Process is the annotated root.
+//
+//droplet:hotpath
+func (b *Buf) Process(in []int) []int {
+	out := in
+	for _, v := range in {
+		out = append(out, v) // parameter-rooted: fine
+	}
+	b.scratch = append(b.scratch, in...) // field-rooted: fine
+
+	w := b.scratch
+	w = append(w, 1) // local alias of a field: fine
+	_ = w
+
+	var fresh []int
+	fresh = append(fresh, 1) // want `append to fresh allocates`
+	_ = fresh
+
+	m := map[int]int{} // want `map literal allocates`
+	_ = m
+	s := []int{1, 2} // want `slice literal allocates`
+	_ = s
+	p := &Buf{} // want `heap-allocates`
+	_ = p
+	q := make([]int, 4) // want `make allocates`
+	_ = q
+
+	if len(in) > 1<<20 {
+		// panic arguments are exempt: a dead simulator may allocate.
+		panic(fmt.Sprintf("input too large: %d", len(in)))
+	}
+	return helper(dep.Leaf(out))
+}
+
+// helper is hot only by reachability from Process.
+func helper(xs []int) []int {
+	tmp := make([]int, 0, len(xs)) // want `make allocates .* reached from`
+	return append(tmp, xs...)
+}
+
+// Spawn shows goroutine and closure findings.
+//
+//droplet:hotpath
+func Spawn() {
+	go dep.Noop() // want `go statement allocates a goroutine`
+	f := func() {} // want `closure allocates`
+	f()
+}
+
+// Print shows the fmt ban.
+//
+//droplet:hotpath
+func Print(x int) {
+	fmt.Println(x) // want `call to fmt.Println allocates`
+}
+
+// Box shows interface boxing, explicit and variadic.
+//
+//droplet:hotpath
+func Box(x int) any {
+	sink(x) // want `boxes arguments into its \.\.\.`
+	return any(x) // want `conversion boxes int into`
+}
+
+func sink(args ...any) { _ = args }
+
+// Warm demonstrates the escape hatch.
+//
+//droplet:hotpath
+func Warm() {
+	//droplet:allow hotalloc -- warmup allocation is bounded by the config
+	_ = make([]int, 1)
+}
+
+// cold is never annotated or reached: allocations are fine here.
+func cold() []int {
+	return make([]int, 8)
+}

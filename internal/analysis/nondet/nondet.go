@@ -1,0 +1,83 @@
+// Package nondet implements the dropletlint analyzer that bans ambient
+// sources of nondeterminism inside simulation packages: wall-clock reads
+// (time.Now/Since/Until), the process-global math/rand generators,
+// environment lookups (os.Getenv and friends), and multi-way select
+// statements (whose ready-case choice is scheduler-random). Explicitly
+// seeded generators (rand.New(rand.NewSource(seed))) are fine — only the
+// package-level convenience functions draw from the shared, randomly
+// seeded source.
+package nondet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"droplet/internal/analysis/framework"
+)
+
+// Analyzer is the nondet pass.
+var Analyzer = &framework.Analyzer{
+	Name: "nondet",
+	Doc:  "bans wall-clock, global math/rand, environment, and racy select sources in simulation code",
+	Run:  run,
+}
+
+// bannedFuncs maps package path → banned package-level functions. An
+// empty set bans every package-level function except those in
+// allowedFuncs.
+var bannedFuncs = map[string]map[string]bool{
+	"time": {"Now": true, "Since": true, "Until": true},
+	"os":   {"Getenv": true, "LookupEnv": true, "Environ": true},
+	// math/rand's package-level functions all draw from the global
+	// source; constructors for explicitly seeded generators are allowed.
+	"math/rand":    nil,
+	"math/rand/v2": nil,
+}
+
+var allowedFuncs = map[string]map[string]bool{
+	"math/rand":    {"New": true, "NewSource": true, "NewZipf": true},
+	"math/rand/v2": {"New": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true},
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectStmt:
+				if len(n.Body.List) > 1 {
+					pass.Reportf(n.Pos(),
+						"select with %d cases is nondeterministic (ready-case choice is scheduler-random); simulation code must not race channels",
+						len(n.Body.List))
+				}
+			case *ast.SelectorExpr:
+				checkSelector(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSelector(pass *framework.Pass, sel *ast.SelectorExpr) {
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return // methods (e.g. on a seeded *rand.Rand) are deterministic
+	}
+	path := fn.Pkg().Path()
+	banned, known := bannedFuncs[path]
+	if !known {
+		return
+	}
+	if banned != nil && !banned[fn.Name()] {
+		return
+	}
+	if banned == nil && allowedFuncs[path][fn.Name()] {
+		return
+	}
+	pass.Reportf(sel.Pos(),
+		"call to %s.%s is a nondeterministic input; simulation results must depend only on the trace and config",
+		path, fn.Name())
+}

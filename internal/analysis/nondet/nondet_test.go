@@ -1,0 +1,12 @@
+package nondet_test
+
+import (
+	"testing"
+
+	"droplet/internal/analysis/analysistest"
+	"droplet/internal/analysis/nondet"
+)
+
+func TestNondet(t *testing.T) {
+	analysistest.Run(t, "testdata", nondet.Analyzer, "a")
+}

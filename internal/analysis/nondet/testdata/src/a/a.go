@@ -1,0 +1,59 @@
+// Package a is the nondet fixture: ambient nondeterminism sources the
+// analyzer bans, and the deterministic alternatives it must accept.
+package a
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `call to time.Now is a nondeterministic input`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `call to time.Since is a nondeterministic input`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `call to math/rand.Intn is a nondeterministic input`
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // constructors are fine
+	return r.Intn(10)                   // methods on a seeded generator are fine
+}
+
+func env() string {
+	return os.Getenv("HOME") // want `call to os.Getenv is a nondeterministic input`
+}
+
+func envLookup() (string, bool) {
+	return os.LookupEnv("HOME") // want `call to os.LookupEnv is a nondeterministic input`
+}
+
+func racySelect(a, b chan int) int {
+	select { // want `select with 2 cases is nondeterministic`
+	case x := <-a:
+		return x
+	case x := <-b:
+		return x
+	}
+}
+
+func singleSelect(a chan int) int {
+	select {
+	case x := <-a:
+		return x
+	}
+}
+
+func deterministicTime() time.Duration {
+	return 3 * time.Millisecond // durations and formatting are fine
+}
+
+func suppressed() int64 {
+	//droplet:allow nondet -- fixture proves the escape hatch
+	return time.Now().Unix()
+}

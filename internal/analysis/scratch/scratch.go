@@ -1,0 +1,270 @@
+// Package scratch implements the dropletlint analyzer enforcing the
+// caller-owned scratch-buffer convention on prefetcher OnAccess
+// implementations. The L2Prefetcher contract is
+//
+//	OnAccess(ev AccessInfo, reqs []Req) []Req
+//
+// where reqs is a scratch buffer owned by the caller (the memory
+// hierarchy reuses it across every access). An implementation may append
+// to it, slice it, read it, and must hand it back — it must never retain
+// it: no storing it (or a reslice of it) in a field or package variable,
+// no capturing it in a closure or goroutine, and every return path must
+// return the buffer (possibly grown), not nil or some other slice.
+//
+// The analyzer matches any method named OnAccess whose last parameter is
+// a slice and whose single result has the identical slice type, so
+// fixture types and future prefetchers are covered without a hard
+// dependency on the prefetch package.
+package scratch
+
+import (
+	"go/ast"
+	"go/types"
+
+	"droplet/internal/analysis/framework"
+)
+
+// Analyzer is the scratch pass.
+var Analyzer = &framework.Analyzer{
+	Name: "scratch",
+	Doc:  "enforces that OnAccess implementations only append to and return the caller-owned scratch slice",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		var parents framework.ParentMap
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != "OnAccess" || fd.Body == nil {
+				continue
+			}
+			dst := scratchParam(pass, fd)
+			if dst == nil {
+				continue
+			}
+			if parents == nil {
+				parents = framework.BuildParents(f)
+			}
+			checkMethod(pass, parents, fd, dst)
+		}
+	}
+	return nil
+}
+
+// scratchParam returns the object of the trailing slice parameter when fd
+// matches the scratch-buffer shape (last param slice, single result of
+// the identical slice type), or nil.
+func scratchParam(pass *framework.Pass, fd *ast.FuncDecl) types.Object {
+	params := fd.Type.Params
+	results := fd.Type.Results
+	if params == nil || len(params.List) == 0 || results == nil || len(results.List) != 1 || len(results.List[0].Names) > 1 {
+		return nil
+	}
+	last := params.List[len(params.List)-1]
+	if len(last.Names) != 1 {
+		return nil
+	}
+	obj := pass.Pkg.Info.Defs[last.Names[0]]
+	if obj == nil {
+		return nil
+	}
+	if _, ok := obj.Type().Underlying().(*types.Slice); !ok {
+		return nil
+	}
+	rtv, ok := pass.Pkg.Info.Types[results.List[0].Type]
+	if !ok || !types.Identical(rtv.Type, obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+// checkMethod verifies every use of dst and every return statement.
+func checkMethod(pass *framework.Pass, parents framework.ParentMap, fd *ast.FuncDecl, dst types.Object) {
+	name := types.ExprString(fd.Recv.List[0].Type) + ".OnAccess"
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if pass.Pkg.Info.Uses[n] == dst {
+				checkUse(pass, parents, fd, n, dst, name)
+			}
+		case *ast.ReturnStmt:
+			if parents.EnclosingFunc(n) != ast.Node(fd) {
+				return true // returns of nested closures follow their own rules
+			}
+			if len(n.Results) != 1 || !rootedInDst(pass, n.Results[0], dst) {
+				pass.Reportf(n.Pos(),
+					"%s must return the caller-owned scratch slice %q (possibly appended), not a different value",
+					name, dst.Name())
+			}
+		}
+		return true
+	})
+}
+
+// checkUse climbs from one use of dst, classifying the context it escapes
+// into. The climb carries an "alias" node: the sub-expression whose value
+// still shares dst's backing array.
+func checkUse(pass *framework.Pass, parents framework.ParentMap, fd *ast.FuncDecl, use *ast.Ident, dst types.Object, name string) {
+	if parents.EnclosingFunc(use) != ast.Node(fd) {
+		pass.Reportf(use.Pos(),
+			"%s captures the scratch slice %q in a closure; the buffer is caller-owned and must not be retained",
+			name, dst.Name())
+		return
+	}
+	alias := ast.Node(use)
+	passedCall := false
+	for cur := parents[use]; cur != nil && cur != ast.Node(fd); cur = parents[cur] {
+		switch c := cur.(type) {
+		case *ast.ParenExpr:
+			alias = c
+
+		case *ast.IndexExpr:
+			if c.X != alias {
+				return // dst used as an index value: plain read
+			}
+			return // element read/write: values are copied, no retention
+
+		case *ast.SliceExpr:
+			alias = c // a reslice still shares the backing array
+
+		case *ast.StarExpr, *ast.KeyValueExpr:
+			alias = cur
+
+		case *ast.CompositeLit:
+			pass.Reportf(use.Pos(),
+				"%s stores the scratch slice %q in a composite literal; the buffer is caller-owned and must not be retained",
+				name, dst.Name())
+			return
+
+		case *ast.UnaryExpr:
+			alias = c
+
+		case *ast.BinaryExpr:
+			return // only ==/!= nil comparisons type-check for slices: a read
+
+		case *ast.CallExpr:
+			if b := builtinCallName(pass, c); b != "" {
+				switch b {
+				case "len", "cap", "copy", "clear", "println", "print":
+					return // pure reads (or debug output) of the buffer
+				case "append":
+					alias = c // result may share dst's array; keep climbing
+					continue
+				case "panic":
+					return // cold path
+				default:
+					alias = c
+					continue
+				}
+			}
+			// A non-builtin call: the delegation pattern. Its result is
+			// treated as an alias of dst, so the climb decides whether the
+			// call's result flows back to dst or the return value.
+			alias = c
+			passedCall = true
+
+		case *ast.FuncLit:
+			pass.Reportf(use.Pos(),
+				"%s captures the scratch slice %q in a closure; the buffer is caller-owned and must not be retained",
+				name, dst.Name())
+			return
+
+		case *ast.GoStmt, *ast.DeferStmt:
+			pass.Reportf(use.Pos(),
+				"%s hands the scratch slice %q to a deferred/concurrent call; the buffer is caller-owned and must not be retained",
+				name, dst.Name())
+			return
+
+		case *ast.AssignStmt:
+			if exprIn(c.Lhs, alias) {
+				return // dst itself (or dst[i]) is the assignment target: fine
+			}
+			if len(c.Lhs) == 1 {
+				if id, ok := ast.Unparen(c.Lhs[0]).(*ast.Ident); ok && objOf(pass, id) == dst {
+					return // dst = append(dst, ...) / dst = helper(dst, ...)
+				}
+			}
+			pass.Reportf(use.Pos(),
+				"%s aliases the scratch slice %q into %s; the buffer is caller-owned and must be reassigned only to %q or returned",
+				name, dst.Name(), types.ExprString(c.Lhs[0]), dst.Name())
+			return
+
+		case *ast.ValueSpec:
+			pass.Reportf(use.Pos(),
+				"%s aliases the scratch slice %q into a new variable; the buffer is caller-owned and must be reassigned only to %q or returned",
+				name, dst.Name(), dst.Name())
+			return
+
+		case *ast.ReturnStmt:
+			return // returning dst (or a call/append rooted in it) is the contract
+
+		case *ast.RangeStmt:
+			return // iterating the buffer is a read
+
+		case *ast.ExprStmt:
+			if passedCall {
+				pass.Reportf(use.Pos(),
+					"%s passes the scratch slice %q to a call and discards the result; assign it back to %q or return it",
+					name, dst.Name(), dst.Name())
+			}
+			return
+
+		case ast.Stmt:
+			return // if/for/switch conditions etc.: reads
+		}
+	}
+}
+
+// rootedInDst reports whether expr's value is (or may be) the dst buffer:
+// dst itself, a reslice of it, append(dst, ...), or a call that receives
+// dst as an argument (delegation — the callee is held to the same
+// contract by its own scratch check).
+func rootedInDst(pass *framework.Pass, expr ast.Expr, dst types.Object) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return objOf(pass, e) == dst
+	case *ast.SliceExpr:
+		return rootedInDst(pass, e.X, dst)
+	case *ast.CallExpr:
+		if builtinCallName(pass, e) == "append" {
+			return len(e.Args) > 0 && rootedInDst(pass, e.Args[0], dst)
+		}
+		for _, a := range e.Args {
+			if rootedInDst(pass, a, dst) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+func builtinCallName(pass *framework.Pass, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := pass.Pkg.Info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+func objOf(pass *framework.Pass, id *ast.Ident) types.Object {
+	if o := pass.Pkg.Info.Uses[id]; o != nil {
+		return o
+	}
+	return pass.Pkg.Info.Defs[id]
+}
+
+func exprIn(list []ast.Expr, n ast.Node) bool {
+	for _, e := range list {
+		if ast.Node(e) == n {
+			return true
+		}
+	}
+	return false
+}

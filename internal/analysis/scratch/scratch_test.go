@@ -1,0 +1,12 @@
+package scratch_test
+
+import (
+	"testing"
+
+	"droplet/internal/analysis/analysistest"
+	"droplet/internal/analysis/scratch"
+)
+
+func TestScratch(t *testing.T) {
+	analysistest.Run(t, "testdata", scratch.Analyzer, "a")
+}

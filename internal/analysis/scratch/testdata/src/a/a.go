@@ -1,0 +1,139 @@
+// Package a is the scratch fixture: OnAccess implementations that honor
+// the caller-owned scratch-buffer contract, and the retention shapes the
+// analyzer must reject.
+package a
+
+// Req mirrors the prefetch request value type.
+type Req struct{ Addr uint64 }
+
+// Ev mirrors the access-info parameter.
+type Ev struct{ Line uint64 }
+
+// Good appends and returns: the contract.
+type Good struct{ next uint64 }
+
+func (g *Good) OnAccess(ev Ev, reqs []Req) []Req {
+	reqs = append(reqs, Req{Addr: g.next})
+	return reqs
+}
+
+// Delegate forwards the buffer to an inner implementation.
+type Delegate struct{ inner Good }
+
+func (d *Delegate) OnAccess(ev Ev, reqs []Req) []Req {
+	return d.inner.OnAccess(ev, reqs)
+}
+
+// Helper threads the buffer through a private emit helper.
+type Helper struct{}
+
+func (h *Helper) emit(dst []Req, a uint64) []Req { return append(dst, Req{Addr: a}) }
+
+func (h *Helper) OnAccess(ev Ev, reqs []Req) []Req {
+	reqs = h.emit(reqs, ev.Line)
+	return reqs
+}
+
+// Reads only inspects the buffer: all fine.
+type Reads struct{ last Req }
+
+func (r *Reads) OnAccess(ev Ev, reqs []Req) []Req {
+	if len(reqs) > 0 {
+		r.last = reqs[0] // element copy, not retention
+	}
+	for i := range reqs {
+		_ = reqs[i]
+	}
+	reqs = append(reqs[:0], reqs...)
+	return reqs
+}
+
+// Retain stores the buffer in a field.
+type Retain struct{ buf []Req }
+
+func (r *Retain) OnAccess(ev Ev, reqs []Req) []Req {
+	r.buf = reqs // want `aliases the scratch slice "reqs" into r\.buf`
+	return reqs
+}
+
+// ResliceRetain stores a reslice: still the same backing array.
+type ResliceRetain struct{ buf []Req }
+
+func (r *ResliceRetain) OnAccess(ev Ev, reqs []Req) []Req {
+	r.buf = reqs[:0] // want `aliases the scratch slice`
+	return reqs
+}
+
+// Alias copies the buffer into a second variable.
+type Alias struct{}
+
+func (a *Alias) OnAccess(ev Ev, reqs []Req) []Req {
+	tmp := reqs // want `aliases the scratch slice`
+	_ = tmp
+	return reqs
+}
+
+// WrongReturn hands back a different slice, losing the caller's buffer.
+type WrongReturn struct{}
+
+func (w *WrongReturn) OnAccess(ev Ev, reqs []Req) []Req {
+	out := make([]Req, 0, 4)
+	return out // want `must return the caller-owned scratch slice "reqs"`
+}
+
+// NilReturn drops the buffer on one path.
+type NilReturn struct{}
+
+func (n *NilReturn) OnAccess(ev Ev, reqs []Req) []Req {
+	if ev.Line == 0 {
+		return nil // want `must return the caller-owned scratch slice`
+	}
+	return reqs
+}
+
+// Capture closes over the buffer.
+type Capture struct{ f func() uint64 }
+
+func (c *Capture) OnAccess(ev Ev, reqs []Req) []Req {
+	c.f = func() uint64 { return reqs[0].Addr } // want `captures the scratch slice`
+	return reqs
+}
+
+// Spawn hands the buffer to a goroutine.
+type Spawn struct{}
+
+func (s *Spawn) OnAccess(ev Ev, reqs []Req) []Req {
+	go consume(reqs) // want `deferred/concurrent call`
+	return reqs
+}
+
+func consume([]Req) {}
+
+// Discard passes the buffer to a call and ignores the (possibly grown)
+// result.
+type Discard struct{}
+
+func (d *Discard) OnAccess(ev Ev, reqs []Req) []Req {
+	record(reqs) // want `discards the result`
+	return reqs
+}
+
+func record([]Req) {}
+
+// NotScratch has a different result type: not the scratch shape, so the
+// analyzer ignores it.
+type NotScratch struct{ buf []Req }
+
+func (n *NotScratch) OnAccess(ev Ev, reqs []Req) int {
+	n.buf = reqs
+	return 0
+}
+
+// Allowed demonstrates the escape hatch.
+type Allowed struct{ buf []Req }
+
+func (a *Allowed) OnAccess(ev Ev, reqs []Req) []Req {
+	//droplet:allow scratch -- fixture proves the escape hatch
+	a.buf = reqs
+	return reqs
+}

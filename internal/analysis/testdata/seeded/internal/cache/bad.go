@@ -1,0 +1,49 @@
+// Package cache is a seeded-violation fixture loaded under the module
+// path "droplet", so its import path matches the scoped simulation
+// packages. It plants one violation per analyzer (plus one malformed
+// directive); the driver test asserts every one is caught, which is the
+// guarantee that the CI lint job fails when such code lands.
+package cache
+
+import "time"
+
+// Victims leaks map order: detmap.
+func Victims(ways map[int]string) []string {
+	var out []string
+	for _, w := range ways {
+		out = append(out, w)
+	}
+	return out
+}
+
+// Stamp reads the wall clock: nondet.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Touch allocates on the hot path: hotalloc.
+//
+//droplet:hotpath
+func Touch(set []int) []int {
+	extra := []int{1, 2}
+	return append(set, extra...)
+}
+
+// keeper retains the scratch buffer: scratch.
+type keeper struct{ buf []byte }
+
+func (k *keeper) OnAccess(ev int, dst []byte) []byte {
+	k.buf = dst
+	return dst
+}
+
+// reasonless is malformed (no "-- <reason>"): the directive itself is
+// reported and suppresses nothing.
+//
+//droplet:allow detmap
+func reasonless(m map[int]int) []int {
+	var ks []int
+	//droplet:allow detmap
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}

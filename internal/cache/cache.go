@@ -222,6 +222,7 @@ func (c *Cache) Lookup(addr mem.Addr) (readyAt int64, ok bool) {
 // ok=true and readyAt, the time the data can be forwarded (>= now; later
 // than now only when the line is still in flight). LRU and all stats are
 // updated; a write marks the line dirty.
+//droplet:hotpath
 func (c *Cache) Access(addr mem.Addr, dtype mem.DataType, write bool, now int64) (readyAt int64, ok bool) {
 	la := addr >> mem.LineShift
 	si := la & c.setMask
@@ -287,6 +288,7 @@ func (c *Cache) hit(idx int, dtype mem.DataType, write bool, now int64) int64 {
 // The returned victim is valid when a line was displaced; inclusive
 // hierarchies must back-invalidate it upstream and write it back
 // downstream when dirty.
+//droplet:hotpath
 func (c *Cache) Fill(addr mem.Addr, dtype mem.DataType, readyAt int64, prefetch bool) Victim {
 	la := addr >> mem.LineShift
 	si := la & c.setMask

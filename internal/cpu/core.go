@@ -286,6 +286,7 @@ func (c *Core) dispatchCompute(n int64) {
 
 // Step processes the next event. It must not be called when Done or
 // AtBarrier.
+//droplet:hotpath
 func (c *Core) Step() {
 	ev := c.stream[c.pos]
 	idx := c.pos

@@ -249,7 +249,7 @@ func TestBarrierAdvancesClock(t *testing.T) {
 		t.Errorf("clock = %d, want >= 5000 after barrier release", c.Clock())
 	}
 	c.Step()
-	if c.Done() != true {
+	if !c.Done() {
 		t.Error("stream should be done")
 	}
 	if len(port.issues) != 2 || port.issues[1] < 5000 {

@@ -212,6 +212,7 @@ func (mc *MemoryController) route(addr mem.Addr) (ch, bank int, row int64) {
 // Access schedules a request arriving at time now and returns its
 // completion time. Writes return their channel-issue time (the writer
 // does not wait for them).
+//droplet:hotpath
 func (mc *MemoryController) Access(req Request, now int64) int64 {
 	ch, bank, row := mc.route(req.Addr)
 

@@ -1,0 +1,41 @@
+package exp
+
+import (
+	"testing"
+
+	"droplet/internal/workload"
+)
+
+// TestFigureEmissionDeterministic rebuilds figure tables twice and
+// requires byte-identical output. The figures aggregate per-algorithm
+// maps; Go randomizes map iteration per range statement, so two rebuilds
+// in one process diverge the moment an unsorted iteration order reaches
+// f.Rows/f.Geomean — exactly the bug class the detmap analyzer and the
+// sortedKeys rewrites in experiments.go guard against. Simulation
+// results are cached in the suite, so the second build exercises only
+// the table construction.
+func TestFigureEmissionDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("prefetcher matrix in -short mode")
+	}
+	s := testSuite()
+	s.Benchmarks = []workload.Benchmark{{Algo: workload.PR, Dataset: "kron"}}
+
+	build := func() string {
+		f11, err := RunFig11(s)
+		if err != nil {
+			t.Fatalf("RunFig11: %v", err)
+		}
+		f15, err := RunFig15(s)
+		if err != nil {
+			t.Fatalf("RunFig15: %v", err)
+		}
+		return f11.Format() + f15.Format()
+	}
+	first := build()
+	for i := 0; i < 3; i++ {
+		if again := build(); again != first {
+			t.Fatalf("figure emission differs between builds:\n--- first ---\n%s\n--- rebuild %d ---\n%s", first, i+1, again)
+		}
+	}
+}

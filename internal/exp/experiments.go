@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"droplet/internal/core"
@@ -550,10 +551,11 @@ func RunFig11(s *Suite) (*Fig11, error) {
 		}
 		f.Rows = append(f.Rows, row)
 	}
-	for algo, m := range perAlgo {
+	for _, algo := range sortedKeys(perAlgo) {
+		m := perAlgo[algo]
 		f.Geomean[algo] = make(map[string]float64)
-		for cfg, sps := range m {
-			f.Geomean[algo][cfg] = geomean(sps)
+		for _, cfg := range sortedKeys(m) {
+			f.Geomean[algo][cfg] = geomean(m[cfg])
 		}
 	}
 	return f, nil
@@ -622,8 +624,9 @@ func RunFig12(s *Suite) (*Fig12, error) {
 		}
 		counts[algo]++
 	}
-	for algo, m := range f.HitRate {
-		for cfg := range m {
+	for _, algo := range sortedKeys(f.HitRate) {
+		m := f.HitRate[algo]
+		for _, cfg := range sortedKeys(m) {
 			m[cfg] /= float64(counts[algo])
 		}
 	}
@@ -684,8 +687,10 @@ func RunFig13(s *Suite) (*Fig13, error) {
 		}
 		counts[algo]++
 	}
-	for algo, m := range f.MPKI {
-		for cfg, acc := range m {
+	for _, algo := range sortedKeys(f.MPKI) {
+		m := f.MPKI[algo]
+		for _, cfg := range sortedKeys(m) {
+			acc := m[cfg]
 			for dt := range acc {
 				acc[dt] /= float64(counts[algo])
 			}
@@ -752,8 +757,10 @@ func RunFig14(s *Suite) (*Fig14, error) {
 			counts[algo][k.String()] = cnt
 		}
 	}
-	for algo, m := range f.Accuracy {
-		for cfg, acc := range m {
+	for _, algo := range sortedKeys(f.Accuracy) {
+		m := f.Accuracy[algo]
+		for _, cfg := range sortedKeys(m) {
+			acc := m[cfg]
 			cnt := counts[algo][cfg]
 			for i := range acc {
 				if cnt[i] > 0 {
@@ -811,8 +818,9 @@ func RunFig15(s *Suite) (*Fig15, error) {
 		}
 		counts[algo]++
 	}
-	for algo, m := range f.BPKI {
-		for cfg := range m {
+	for _, algo := range sortedKeys(f.BPKI) {
+		m := f.BPKI[algo]
+		for _, cfg := range sortedKeys(m) {
 			m[cfg] /= float64(counts[algo])
 		}
 		if base := m[core.NoPrefetch.String()]; base > 0 {
@@ -839,4 +847,17 @@ func (f *Fig15) Format() string {
 		fmt.Fprintf(&sb, " %12.1f%%\n", f.Extra[a.String()]*100)
 	}
 	return sb.String()
+}
+
+// sortedKeys returns m's keys in ascending order. Figure tables are
+// rebuilt from maps keyed by algorithm and configuration name; iterating
+// those maps in sorted order is what keeps the emitted bytes identical
+// across runs (and is the canonical shape the detmap analyzer accepts).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

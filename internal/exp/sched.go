@@ -174,6 +174,7 @@ func (s *Suite) releaseTrace(e *traceEntry) {
 // evictIdleLocked drops one unpinned trace to free a slot. Callers hold
 // traceMu.
 func (s *Suite) evictIdleLocked() bool {
+	//droplet:allow detmap -- which idle trace gets evicted only changes cache residency, never simulation results
 	for key, e := range s.traces {
 		if e.refs == 0 {
 			delete(s.traces, key)

@@ -41,7 +41,10 @@ func (t *TLB) Lookup(a Addr) (PTE, bool) {
 	return n.pte, true
 }
 
-// Insert caches a translation, evicting the LRU entry when full.
+// Insert caches a translation, evicting the LRU entry when full. At
+// capacity the evicted node is rewritten in place for the new
+// translation, so the steady-state miss path allocates nothing; only the
+// initial fill (and refill after Flush) allocates, bounded by capacity.
 func (t *TLB) Insert(a Addr, pte PTE) {
 	vpn := PageNumber(a)
 	if n, ok := t.entries[vpn]; ok {
@@ -49,12 +52,16 @@ func (t *TLB) Insert(a Addr, pte PTE) {
 		t.moveToFront(n)
 		return
 	}
+	var n *tlbNode
 	if len(t.entries) >= t.capacity {
-		lru := t.tail
-		t.unlink(lru)
-		delete(t.entries, lru.vpn)
+		n = t.tail
+		t.unlink(n)
+		delete(t.entries, n.vpn)
+		n.vpn, n.pte = vpn, pte
+	} else {
+		//droplet:allow hotalloc -- fill phase only: at most capacity nodes exist between flushes
+		n = &tlbNode{vpn: vpn, pte: pte}
 	}
-	n := &tlbNode{vpn: vpn, pte: pte}
 	t.entries[vpn] = n
 	t.pushFront(n)
 }
@@ -65,6 +72,7 @@ func (t *TLB) Insert(a Addr, pte PTE) {
 // expresses that policy through pred.
 func (t *TLB) InvalidateMatching(pred func(vpn uint64, pte PTE) bool) int {
 	removed := 0
+	//droplet:allow detmap -- removal of the matching set is order-insensitive: pred sees each entry independently and removed is a count
 	for vpn, n := range t.entries {
 		if pred(vpn, n.pte) {
 			t.unlink(n)

@@ -302,6 +302,7 @@ func (h *Hierarchy) AddressSpace() *mem.AddressSpace { return h.as }
 
 // Access performs a demand access from core at time now and returns the
 // completion time plus the level that serviced it.
+//droplet:hotpath
 func (h *Hierarchy) Access(core int, vaddr mem.Addr, dtype mem.DataType, write bool, now int64) (int64, Level) {
 	vline := mem.LineAddr(vaddr)
 	pte, _, ok := h.translate(core, vline)
@@ -509,6 +510,7 @@ func (h *Hierarchy) markUpper(core int, paddr mem.Addr) {
 }
 
 // ExecutePrefetch runs one L2-prefetcher request at time now.
+//droplet:hotpath
 func (h *Hierarchy) ExecutePrefetch(r prefetch.Req, now int64) {
 	vline := mem.LineAddr(r.VAddr)
 	pte, dtype, ok := h.translate(r.Core, vline)
@@ -585,6 +587,7 @@ func (h *Hierarchy) installPrefetch(core int, paddr mem.Addr, dtype mem.DataType
 
 // LineOnChip implements prefetch.Chip: the inclusive LLC covers all
 // private caches, so an LLC probe is the coherence-engine check.
+//droplet:hotpath
 func (h *Hierarchy) LineOnChip(paddr mem.Addr) bool {
 	_, ok := h.llc.Lookup(paddr)
 	return ok
@@ -593,6 +596,7 @@ func (h *Hierarchy) LineOnChip(paddr mem.Addr) bool {
 // CopyLLCToL2 implements prefetch.Chip (Fig. 8: on-chip property line
 // copied from the inclusive LLC into the requesting core's private L2).
 // Lines already resident in the destination cache are left untouched.
+//droplet:hotpath
 func (h *Hierarchy) CopyLLCToL2(core int, paddr mem.Addr, dtype mem.DataType, now int64, fillL1 bool) {
 	dest := h.l1[core]
 	if l2 := h.l2[core]; l2 != nil && !fillL1 {
@@ -615,6 +619,7 @@ func (h *Hierarchy) CopyLLCToL2(core int, paddr mem.Addr, dtype mem.DataType, no
 
 // IssueDRAMPrefetch implements prefetch.Chip (Fig. 8: off-chip property
 // prefetch queued at the MC, filling the LLC and the private L2).
+//droplet:hotpath
 func (h *Hierarchy) IssueDRAMPrefetch(core int, paddr, vaddr mem.Addr, dtype mem.DataType, now int64, fillL1 bool) int64 {
 	complete := h.mc.Access(dram.Request{
 		Addr:     paddr,

@@ -63,6 +63,7 @@ func (a *AdaptiveStreamer) Name() string { return "adaptive" }
 func (a *AdaptiveStreamer) DataAware() bool { return a.s.cfg.DataAware }
 
 // OnAccess implements L2Prefetcher.
+//droplet:hotpath
 func (a *AdaptiveStreamer) OnAccess(ev AccessInfo, reqs []Req) []Req {
 	a.count++
 	if ev.L2Hit {

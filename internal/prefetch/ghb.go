@@ -68,6 +68,7 @@ func deltaKey(d1, d2 int64) uint64 {
 }
 
 // OnAccess implements L2Prefetcher. GHB trains on L2 misses only.
+//droplet:hotpath
 func (g *GHB) OnAccess(ev AccessInfo, reqs []Req) []Req {
 	if ev.L2Hit {
 		return reqs

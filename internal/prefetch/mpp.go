@@ -177,6 +177,7 @@ func (m *MPP) Shootdown(vpns []uint64, structureBit []bool) int {
 // OnRefill is the MC refill subscription entry point (Fig. 8 ❷): scan the
 // prefetched structure line, generate property addresses, translate them
 // through the MTLB, probe the coherence engine, and deliver.
+//droplet:hotpath
 func (m *MPP) OnRefill(r dram.Refill) {
 	if !m.Triggered(r) {
 		return

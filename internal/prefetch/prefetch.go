@@ -63,4 +63,5 @@ type Nop struct{}
 func (Nop) Name() string { return "nopf" }
 
 // OnAccess implements L2Prefetcher.
+//droplet:hotpath
 func (Nop) OnAccess(_ AccessInfo, reqs []Req) []Req { return reqs }

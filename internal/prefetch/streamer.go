@@ -72,6 +72,7 @@ func (s *Streamer) Name() string {
 }
 
 // OnAccess implements L2Prefetcher.
+//droplet:hotpath
 func (s *Streamer) OnAccess(ev AccessInfo, reqs []Req) []Req {
 	// The conventional streamer snoops every L1-miss address in the L2
 	// request queue (Fig. 9(a)); the data-aware variant admits only

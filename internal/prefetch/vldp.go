@@ -109,6 +109,7 @@ func histKey(deltas []int64, n int) uint64 {
 }
 
 // OnAccess implements L2Prefetcher. VLDP trains on L2 misses.
+//droplet:hotpath
 func (v *VLDP) OnAccess(ev AccessInfo, reqs []Req) []Req {
 	if ev.L2Hit {
 		return reqs

@@ -138,6 +138,7 @@ func run(tr *trace.Trace, cfg Config, drive func([]*cpu.Core)) (*Result, error) 
 // they release together at the latest arrival time. O(cores) per event —
 // kept only as the oracle the determinism tests compare driveQuantum
 // against.
+//droplet:hotpath
 func driveReference(cores []*cpu.Core) {
 	for {
 		var next *cpu.Core
@@ -175,6 +176,7 @@ func driveReference(cores []*cpu.Core) {
 // runner-up computed once stays valid for the whole quantum). Each quantum
 // is a long single-core, single-stream run, which is also what the host
 // CPU's branch predictors and caches want to see.
+//droplet:hotpath
 func driveQuantum(cores []*cpu.Core) {
 	for {
 		// Elect the (clock, index)-lexicographic minimum runnable core —
@@ -242,6 +244,7 @@ func driveQuantum(cores []*cpu.Core) {
 
 // releaseBarrier opens the barrier every unfinished core is parked at,
 // at the latest arrival time.
+//droplet:hotpath
 func releaseBarrier(cores []*cpu.Core) {
 	var t int64
 	for _, c := range cores {

@@ -48,6 +48,7 @@ func NewLayout(g *graph.CSR) *Layout {
 // on the weighted-graph granularity). Addresses outside the structure
 // region append nothing. The caller owns the buffer (prefetch.LineScanner
 // contract), so the scan never allocates in steady state.
+//droplet:hotpath
 func (l *Layout) ScanStructureLine(vline mem.Addr, ids []uint32) []uint32 {
 	if !l.Structure.Contains(vline) {
 		return ids
