@@ -1,6 +1,7 @@
 package droplet_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -87,6 +88,91 @@ func TestPublicAPIPrefetcherParsing(t *testing.T) {
 		if err != nil || got != p {
 			t.Errorf("ParsePrefetcher(%v) = %v, %v", p, got, err)
 		}
+	}
+}
+
+func TestPublicAPIKernelParsing(t *testing.T) {
+	for _, k := range droplet.Kernels {
+		got, err := droplet.ParseKernel(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKernel(%v) = %v, %v", k, got, err)
+		}
+	}
+	if _, err := droplet.ParseKernel("notakernel"); err == nil {
+		t.Error("ParseKernel accepted an unknown name")
+	}
+}
+
+func TestPublicAPITraceOfValidation(t *testing.T) {
+	g, err := droplet.Grid(4, 4, droplet.GraphOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := droplet.TraceOf(droplet.PR, nil, droplet.TraceOptions{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := droplet.TraceOf(droplet.PR, g, droplet.TraceOptions{Cores: -1}); err == nil {
+		t.Error("negative core count accepted")
+	}
+	if _, err := droplet.TraceOf(droplet.PR, g, droplet.TraceOptions{MaxEvents: -1}); err == nil {
+		t.Error("negative event cap accepted")
+	}
+	if _, _, err := droplet.TraceOfDOBFS(nil, 0, 0, droplet.TraceOptions{}); err == nil {
+		t.Error("TraceOfDOBFS accepted a nil graph")
+	}
+	if _, _, err := droplet.TraceOfDOBFS(g, -1, 0, droplet.TraceOptions{}); err == nil {
+		t.Error("TraceOfDOBFS accepted negative alpha")
+	}
+	if tr, depths, err := droplet.TraceOfDOBFS(g, 0, 0, droplet.TraceOptions{Cores: 2}); err != nil || tr == nil || len(depths) != g.NumVertices() {
+		t.Errorf("TraceOfDOBFS = (%v, %d depths, %v)", tr, len(depths), err)
+	}
+}
+
+func TestPublicAPISimulate(t *testing.T) {
+	g, err := droplet.Kron(9, 8, droplet.GraphOptions{Seed: 5, Symmetrize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := droplet.TraceOf(droplet.PR, g, droplet.TraceOptions{Cores: 4, PRIters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := droplet.ExperimentMachine()
+	cfg.L1.SizeBytes = 1 << 10
+	cfg.L2.SizeBytes = 4 << 10
+	cfg.LLC.SizeBytes = 8 << 10
+	cfg.Prefetcher = droplet.DROPLET
+
+	plain, err := droplet.Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sink := &droplet.MemorySink{}
+	var ticks int
+	res, err := droplet.Simulate(context.Background(), tr, cfg,
+		droplet.WithObserver(droplet.NewCollector(sink, droplet.RunMeta{Benchmark: "kron9", Kernel: "pr", EpochCycles: 5000})),
+		droplet.WithEpochCycles(5000),
+		droplet.WithProgress(func(int64) { ticks++ }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != plain.Cycles || res.Instructions != plain.Instructions {
+		t.Errorf("telemetry changed the result: (%d, %d) vs (%d, %d)",
+			res.Cycles, res.Instructions, plain.Cycles, plain.Instructions)
+	}
+	if len(sink.Records) == 0 || ticks == 0 {
+		t.Errorf("no telemetry: %d records, %d progress ticks", len(sink.Records), ticks)
+	}
+	if sink.Meta.Prefetcher != "droplet" {
+		t.Errorf("meta prefetcher = %q", sink.Meta.Prefetcher)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := droplet.Simulate(ctx, tr, cfg); err != context.Canceled {
+		t.Errorf("cancelled Simulate returned %v", err)
 	}
 }
 

@@ -21,11 +21,13 @@ import (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list available experiments")
-		run     = flag.String("run", "", "experiment id (fig1..fig15, table1..table5) or 'all'")
-		scale   = flag.String("scale", "quick", "workload scale: quick or full")
-		jobs    = flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers (also bounds live traces; 1 = serial)")
-		verbose = flag.Bool("v", false, "print per-simulation progress")
+		list     = flag.Bool("list", false, "list available experiments")
+		run      = flag.String("run", "", "experiment id (fig1..fig15, table1..table5) or 'all'")
+		scale    = flag.String("scale", "quick", "workload scale: quick or full")
+		jobs     = flag.Int("jobs", runtime.NumCPU(), "parallel simulation workers (also bounds live traces; 1 = serial)")
+		verbose  = flag.Bool("v", false, "print per-simulation progress")
+		telemDir = flag.String("telemetry-dir", "", "stream per-simulation epoch JSONL telemetry into this directory")
+		epochCyc = flag.Int64("epoch", 0, "telemetry epoch granularity in cycles (0 = default)")
 	)
 	flag.Parse()
 
@@ -51,6 +53,14 @@ func main() {
 
 	s := exp.NewSuite(sc)
 	s.Jobs = *jobs
+	if *telemDir != "" {
+		if err := os.MkdirAll(*telemDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "droplet-exp:", err)
+			os.Exit(1)
+		}
+		s.TelemetryDir = *telemDir
+		s.EpochCycles = *epochCyc
+	}
 	if *verbose {
 		// The suite serializes Progress calls, so the sink is safe under
 		// -jobs > 1 (lines arrive in completion order).

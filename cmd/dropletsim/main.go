@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,6 +26,7 @@ import (
 	"droplet/internal/mem"
 	"droplet/internal/memsys"
 	"droplet/internal/sim"
+	"droplet/internal/telemetry"
 	"droplet/internal/trace"
 	"droplet/internal/workload"
 )
@@ -46,6 +48,10 @@ func main() {
 		outPath    = flag.String("o", "", "write -matrix tables to this file instead of stdout")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		telemetry  = flag.String("telemetry", "", "stream epoch telemetry in this format: jsonl or csv (single-run mode)")
+		telemOut   = flag.String("telemetry-out", "", "telemetry output file (default telemetry.<format>)")
+		telemDir   = flag.String("telemetry-dir", "", "stream per-simulation epoch JSONL files into this directory (-matrix mode)")
+		epochCyc   = flag.Int64("epoch", 0, "telemetry epoch granularity in cycles (0 = default)")
 	)
 	flag.Parse()
 
@@ -78,13 +84,13 @@ func main() {
 	}
 
 	if *matrix != "" {
-		if err := runMatrix(*matrix, *benchmarks, *scale, *jobs, *verbose, *outPath); err != nil {
+		if err := runMatrix(*matrix, *benchmarks, *scale, *jobs, *verbose, *outPath, *telemDir, *epochCyc); err != nil {
 			fmt.Fprintln(os.Stderr, "dropletsim:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*algoName, *dataset, *pfName, *scale, *cores, *llcKB, *graphEL, *asJSON); err != nil {
+	if err := run(*algoName, *dataset, *pfName, *scale, *cores, *llcKB, *graphEL, *asJSON, *telemetry, *telemOut, *epochCyc); err != nil {
 		fmt.Fprintln(os.Stderr, "dropletsim:", err)
 		os.Exit(1)
 	}
@@ -106,13 +112,20 @@ func parseScale(name string) (workload.Scale, error) {
 // of the suite cache in table order no matter how the scheduler
 // interleaved the simulations, so -jobs N output diffs clean against
 // -jobs 1 (the CI smoke job relies on this).
-func runMatrix(ids, benchList, scaleName string, jobs int, verbose bool, outPath string) error {
+func runMatrix(ids, benchList, scaleName string, jobs int, verbose bool, outPath, telemDir string, epochCyc int64) error {
 	sc, err := parseScale(scaleName)
 	if err != nil {
 		return err
 	}
 	s := exp.NewSuite(sc)
 	s.Jobs = jobs
+	if telemDir != "" {
+		if err := os.MkdirAll(telemDir, 0o755); err != nil {
+			return err
+		}
+		s.TelemetryDir = telemDir
+		s.EpochCycles = epochCyc
+	}
 	if benchList != "" {
 		for _, name := range strings.Split(benchList, ",") {
 			b, err := workload.ParseBenchmark(strings.TrimSpace(name))
@@ -160,7 +173,7 @@ func runMatrix(ids, benchList, scaleName string, jobs int, verbose bool, outPath
 	return nil
 }
 
-func run(algoName, dataset, pfName, scaleName string, cores, llcKB int, graphEL string, asJSON bool) error {
+func run(algoName, dataset, pfName, scaleName string, cores, llcKB int, graphEL string, asJSON bool, telemFormat, telemOut string, epochCyc int64) error {
 	a, err := workload.ParseAlgorithm(algoName)
 	if err != nil {
 		return err
@@ -209,7 +222,21 @@ func run(algoName, dataset, pfName, scaleName string, cores, llcKB int, graphEL 
 	}
 	fmt.Printf("simulating on %dKB/%dKB/%dKB hierarchy with %v...\n",
 		cfg.L1.SizeBytes>>10, cfg.L2.SizeBytes>>10, cfg.LLC.SizeBytes>>10, kind)
-	r, err := sim.Run(tr, cfg)
+
+	var r *sim.Result
+	if telemFormat != "" {
+		benchName := dataset
+		if graphEL != "" {
+			benchName = graphEL
+		}
+		r, err = runWithTelemetry(tr, cfg, telemFormat, telemOut, epochCyc, telemetry.RunMeta{
+			Benchmark:   fmt.Sprintf("%v-%s", a, benchName),
+			Kernel:      a.String(),
+			EpochCycles: epochCyc,
+		})
+	} else {
+		r, err = sim.Run(tr, cfg)
+	}
 	if err != nil {
 		return err
 	}
@@ -220,6 +247,40 @@ func run(algoName, dataset, pfName, scaleName string, cores, llcKB int, graphEL 
 	}
 	printResult(r)
 	return nil
+}
+
+// runWithTelemetry wraps the single-run simulation with an epoch
+// collector streaming to the chosen sink format.
+func runWithTelemetry(tr *trace.Trace, cfg sim.Config, format, outPath string, epochCyc int64, meta telemetry.RunMeta) (*sim.Result, error) {
+	if outPath == "" {
+		outPath = "telemetry." + format
+	}
+	var mkSink func(io.Writer) telemetry.Sink
+	switch format {
+	case "jsonl":
+		mkSink = func(w io.Writer) telemetry.Sink { return telemetry.NewJSONLSink(w) }
+	case "csv":
+		mkSink = func(w io.Writer) telemetry.Sink { return telemetry.NewCSVSink(w) }
+	default:
+		return nil, fmt.Errorf("unknown telemetry format %q (want jsonl or csv)", format)
+	}
+	if meta.EpochCycles == 0 {
+		meta.EpochCycles = sim.DefaultEpochCycles
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return nil, err
+	}
+	col := telemetry.NewCollector(mkSink(f), meta)
+	r, simErr := sim.Simulate(context.Background(), tr, cfg, sim.Options{Observer: col, EpochCycles: epochCyc})
+	if closeErr := f.Close(); simErr == nil {
+		simErr = closeErr
+	}
+	if simErr != nil {
+		return nil, simErr
+	}
+	fmt.Printf("telemetry written to %s\n", outPath)
+	return r, nil
 }
 
 // traceCustom records the chosen kernel over a user-supplied graph.

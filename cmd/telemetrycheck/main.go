@@ -1,0 +1,77 @@
+// Command telemetrycheck validates epoch telemetry JSONL streams: the
+// meta line's schema, record sequencing, contiguous per-core windows,
+// and the cycle-stack conservation invariant (components summing exactly
+// to elapsed cycles) on every epoch of every file. It exits non-zero on
+// the first violation, making it usable as a CI gate.
+//
+// Usage:
+//
+//	telemetrycheck file.jsonl [more.jsonl ...]
+//	telemetrycheck dir/          # checks every *.jsonl in the directory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"droplet/internal/telemetry"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "suppress per-file summaries")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: telemetrycheck [-q] <file.jsonl | dir> ...")
+		os.Exit(2)
+	}
+
+	var files []string
+	for _, arg := range flag.Args() {
+		info, err := os.Stat(arg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "telemetrycheck:", err)
+			os.Exit(1)
+		}
+		if info.IsDir() {
+			matches, err := filepath.Glob(filepath.Join(arg, "*.jsonl"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "telemetrycheck:", err)
+				os.Exit(1)
+			}
+			sort.Strings(matches)
+			files = append(files, matches...)
+		} else {
+			files = append(files, arg)
+		}
+	}
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "telemetrycheck: no .jsonl files found")
+		os.Exit(1)
+	}
+
+	failed := false
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "telemetrycheck:", err)
+			os.Exit(1)
+		}
+		meta, n, err := telemetry.ValidateJSONL(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "telemetrycheck: %s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		if !*quiet {
+			fmt.Printf("%s: ok (%s on %d cores, %d epochs, conservation holds)\n",
+				path, meta.Prefetcher, meta.Cores, n)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -10,17 +10,36 @@
 // prefetcher, and every baseline prefetcher the paper evaluates.
 //
 // This package is the public facade over the internal implementation:
-// build or generate a graph, pick a kernel and machine, then Run.
+// build or generate a graph, pick a kernel and machine, then Simulate.
 //
 //	g, _ := droplet.Kron(14, 16, droplet.GraphOptions{Seed: 1, Symmetrize: true})
 //	tr, _ := droplet.TraceOf(droplet.PR, g, droplet.TraceOptions{})
 //	cfg := droplet.ExperimentMachine()
 //	cfg.Prefetcher = droplet.DROPLET
-//	res, _ := droplet.Run(tr, cfg)
+//	res, _ := droplet.Simulate(ctx, tr, cfg)
 //	fmt.Println(res.IPC())
+//
+// # Migration from Run
+//
+// Simulate(ctx, tr, cfg, opts...) supersedes Run(tr, cfg). Run remains
+// as a thin wrapper — Run(tr, cfg) is exactly
+// Simulate(context.Background(), tr, cfg) — so existing callers keep
+// working unchanged. Simulate adds context cancellation and functional
+// options:
+//
+//   - WithObserver(obs) attaches an epoch telemetry observer (see
+//     NewCollector and the sink constructors) that receives per-epoch
+//     cycle-stack, data-type, and MLP records;
+//   - WithEpochCycles(n) sets the epoch granularity in core cycles;
+//   - WithProgress(fn) installs a cheap per-epoch liveness callback.
+//
+// Observers never perturb the simulation: the executed step sequence —
+// and therefore the returned Result — is bit-identical with telemetry
+// on or off, and the nil-observer path stays allocation-free.
 package droplet
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -29,6 +48,7 @@ import (
 	"droplet/internal/graph"
 	"droplet/internal/mem"
 	"droplet/internal/sim"
+	"droplet/internal/telemetry"
 	"droplet/internal/trace"
 	"droplet/internal/workload"
 )
@@ -92,6 +112,10 @@ const (
 // Kernels lists all five kernels in the paper's order.
 var Kernels = workload.AllAlgorithms
 
+// ParseKernel resolves a kernel name ("pr", "bfs", …), mirroring
+// ParsePrefetcher. Matching is case-insensitive.
+func ParseKernel(s string) (Kernel, error) { return workload.ParseAlgorithm(s) }
+
 // Trace is a data-type-tagged multicore memory trace.
 type Trace = trace.Trace
 
@@ -101,29 +125,83 @@ type TraceOptions = trace.Options
 // DepStats is the load-load dependency profile of a trace (Figs. 5/6).
 type DepStats = trace.DepStats
 
+// validateTraceInputs rejects the input classes every kernel shares:
+// nil or empty graphs and malformed trace options.
+func validateTraceInputs(g *Graph, opt TraceOptions) error {
+	if g == nil {
+		return fmt.Errorf("droplet: nil graph")
+	}
+	if g.NumVertices() == 0 {
+		return fmt.Errorf("droplet: empty graph")
+	}
+	if opt.Cores < 0 {
+		return fmt.Errorf("droplet: negative core count %d", opt.Cores)
+	}
+	if opt.MaxEvents < 0 {
+		return fmt.Errorf("droplet: negative event cap %d", opt.MaxEvents)
+	}
+	if opt.PRIters < 0 {
+		return fmt.Errorf("droplet: negative PageRank iteration count %d", opt.PRIters)
+	}
+	return nil
+}
+
+// checkReference validates a kernel's per-vertex reference result (the
+// second value every instrumented kernel returns alongside its trace)
+// instead of discarding it: a size mismatch means the kernel did not
+// visit the whole graph and the trace cannot be trusted.
+func checkReference(k Kernel, got, vertices int) error {
+	if got != vertices {
+		return fmt.Errorf("droplet: %v reference result covers %d of %d vertices", k, got, vertices)
+	}
+	return nil
+}
+
 // TraceOf runs kernel k over g while recording its memory accesses.
 // SSSP requires a weighted graph; the other kernels ignore weights.
 // The source vertex (for BFS/SSSP/BC) is the highest-degree vertex.
+// Invalid inputs (nil/empty graph, negative options, unweighted SSSP)
+// are reported as errors, and each kernel's reference result is checked
+// for full-graph coverage before the trace is returned.
 func TraceOf(k Kernel, g *Graph, opt TraceOptions) (*Trace, error) {
+	if err := validateTraceInputs(g, opt); err != nil {
+		return nil, err
+	}
 	src := graph.LargestComponentSource(g)
+	n := g.NumVertices()
 	switch k {
 	case PR:
-		tr, _ := trace.PageRank(g, g.Transpose(), opt)
+		tr, scores := trace.PageRank(g, g.Transpose(), opt)
+		if err := checkReference(k, len(scores), n); err != nil {
+			return nil, err
+		}
 		return tr, nil
 	case BFS:
-		tr, _ := trace.BFS(g, src, opt)
+		tr, depths := trace.BFS(g, src, opt)
+		if err := checkReference(k, len(depths), n); err != nil {
+			return nil, err
+		}
 		return tr, nil
 	case SSSP:
 		if !g.Weighted() {
 			return nil, fmt.Errorf("droplet: SSSP requires a weighted graph")
 		}
-		tr, _ := trace.SSSP(g, src, 0, opt)
+		tr, dists := trace.SSSP(g, src, 0, opt)
+		if err := checkReference(k, len(dists), n); err != nil {
+			return nil, err
+		}
 		return tr, nil
 	case CC:
-		tr, _ := trace.CC(g, opt)
+		tr, labels := trace.CC(g, opt)
+		if err := checkReference(k, len(labels), n); err != nil {
+			return nil, err
+		}
 		return tr, nil
 	case BC:
-		tr, _ := trace.BC(g, []uint32{src}, opt)
+		tr, centrality := trace.BC(g, []uint32{src}, opt)
+		if err := checkReference(k, len(centrality), n); err != nil {
+			return nil, err
+		}
 		return tr, nil
 	default:
 		return nil, fmt.Errorf("droplet: unknown kernel %v", k)
@@ -132,10 +210,22 @@ func TraceOf(k Kernel, g *Graph, opt TraceOptions) (*Trace, error) {
 
 // TraceOfDOBFS records GAP's direction-optimizing BFS (an extension
 // beyond the five Table II kernels; see algo.DOBFS) with the given
-// alpha/beta heuristics (0 = GAP defaults).
-func TraceOfDOBFS(g *Graph, alpha, beta int, opt TraceOptions) (*Trace, []int64) {
+// alpha/beta heuristics (0 = GAP defaults). It returns the trace and
+// the reference per-vertex depths, with the same input validation and
+// error reporting as TraceOf.
+func TraceOfDOBFS(g *Graph, alpha, beta int, opt TraceOptions) (*Trace, []int64, error) {
+	if err := validateTraceInputs(g, opt); err != nil {
+		return nil, nil, err
+	}
+	if alpha < 0 || beta < 0 {
+		return nil, nil, fmt.Errorf("droplet: negative DOBFS heuristics alpha=%d beta=%d", alpha, beta)
+	}
 	src := graph.LargestComponentSource(g)
-	return trace.DOBFS(g, g.Transpose(), src, alpha, beta, opt)
+	tr, depths := trace.DOBFS(g, g.Transpose(), src, alpha, beta, opt)
+	if err := checkReference(BFS, len(depths), g.NumVertices()); err != nil {
+		return nil, nil, err
+	}
+	return tr, depths, nil
 }
 
 // AnalyzeDependencies computes the load-load dependency profile of a
@@ -215,8 +305,92 @@ func ExperimentMachine() MachineConfig {
 	return cfg
 }
 
-// Run simulates tr on a machine built from cfg.
-func Run(tr *Trace, cfg MachineConfig) (*Result, error) { return sim.Run(tr, cfg) }
+// Observer receives per-epoch telemetry callbacks from the simulator
+// (see internal/telemetry for the epoch model and the conservation
+// invariant). NewCollector builds the standard implementation.
+type Observer = telemetry.Observer
+
+// TelemetrySink receives the collector's record stream.
+type TelemetrySink = telemetry.Sink
+
+// Collector is the standard Observer: it diffs the machine's counters
+// at every epoch boundary and forwards conservation-checked records to
+// a TelemetrySink.
+type Collector = telemetry.Collector
+
+// RunMeta labels a telemetry stream (benchmark/kernel/variant names).
+type RunMeta = telemetry.RunMeta
+
+// EpochRecord is one epoch of telemetry; CoreEpoch is one core's
+// cycle-stack attribution within it.
+type (
+	EpochRecord = telemetry.EpochRecord
+	CoreEpoch   = telemetry.CoreEpoch
+)
+
+// MemorySink retains the full record stream in memory (for tests and
+// in-process analysis).
+type MemorySink = telemetry.MemorySink
+
+// NewCollector builds the standard telemetry observer writing to sink.
+func NewCollector(sink TelemetrySink, meta RunMeta) *Collector {
+	return telemetry.NewCollector(sink, meta)
+}
+
+// NewJSONLSink streams one JSON object per line (a meta line, then one
+// record per epoch). The stream is byte-deterministic for a given
+// simulation.
+func NewJSONLSink(w io.Writer) TelemetrySink { return telemetry.NewJSONLSink(w) }
+
+// NewCSVSink writes one row per (epoch, core) with the cycle stack,
+// load mix, and MLP histogram.
+func NewCSVSink(w io.Writer) TelemetrySink { return telemetry.NewCSVSink(w) }
+
+// ValidateTelemetry checks a JSONL telemetry stream: schema shape,
+// epoch sequencing, and the cycle-stack conservation invariant on every
+// record. It returns the stream's meta and the number of epoch records.
+func ValidateTelemetry(r io.Reader) (*RunMeta, int, error) { return telemetry.ValidateJSONL(r) }
+
+// Option tunes Simulate.
+type Option func(*sim.Options)
+
+// WithObserver attaches a telemetry observer, pulled at every epoch
+// boundary.
+func WithObserver(obs Observer) Option {
+	return func(o *sim.Options) { o.Observer = obs }
+}
+
+// WithEpochCycles sets the telemetry epoch granularity in core cycles
+// (default sim.DefaultEpochCycles).
+func WithEpochCycles(n int64) Option {
+	return func(o *sim.Options) { o.EpochCycles = n }
+}
+
+// WithProgress installs a callback invoked at every epoch boundary with
+// the elected core's clock — a cheap liveness signal for long runs.
+func WithProgress(fn func(cycle int64)) Option {
+	return func(o *sim.Options) { o.Progress = fn }
+}
+
+// Simulate runs tr on a machine built from cfg, honoring ctx
+// cancellation and the given options. With no options and a
+// non-cancellable context it is identical to Run (same zero-overhead,
+// allocation-free drive path); observers never change the executed step
+// sequence, so the Result is bit-identical with telemetry on or off.
+func Simulate(ctx context.Context, tr *Trace, cfg MachineConfig, opts ...Option) (*Result, error) {
+	var o sim.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return sim.Simulate(ctx, tr, cfg, o)
+}
+
+// Run simulates tr on a machine built from cfg. It is the back-compat
+// wrapper over Simulate: Run(tr, cfg) ==
+// Simulate(context.Background(), tr, cfg).
+func Run(tr *Trace, cfg MachineConfig) (*Result, error) {
+	return Simulate(context.Background(), tr, cfg)
+}
 
 // DataType classifies accesses (structure / property / intermediate).
 type DataType = mem.DataType

@@ -1,6 +1,7 @@
 package droplet_test
 
 import (
+	"context"
 	"fmt"
 
 	"droplet"
@@ -29,6 +30,40 @@ func ExampleRunBFS() {
 	fmt.Println(droplet.RunBFS(g, 0))
 	// Output:
 	// [0 1 2 3]
+}
+
+// ExampleSimulate shows the redesigned entry point: Simulate takes a
+// context plus functional options, superseding Run (which survives as
+// Run(tr, cfg) == Simulate(context.Background(), tr, cfg)). Here an
+// in-memory telemetry collector records per-epoch cycle stacks; the
+// observer never changes the simulation's result.
+func ExampleSimulate() {
+	g, _ := droplet.Kron(9, 8, droplet.GraphOptions{Seed: 5, Symmetrize: true})
+	tr, _ := droplet.TraceOf(droplet.PR, g, droplet.TraceOptions{Cores: 4, PRIters: 2})
+
+	cfg := droplet.ExperimentMachine()
+	cfg.Prefetcher = droplet.DROPLET
+
+	sink := &droplet.MemorySink{}
+	res, err := droplet.Simulate(context.Background(), tr, cfg,
+		droplet.WithObserver(droplet.NewCollector(sink, droplet.RunMeta{Kernel: "pr"})),
+		droplet.WithEpochCycles(10000),
+	)
+	if err != nil {
+		panic(err)
+	}
+
+	// Every epoch's cycle stack sums exactly to its elapsed cycles.
+	rec := sink.Records[0].Cores[0]
+	sum := rec.Base + rec.DepStall + rec.QueueStall + rec.BarrierStall
+	for _, v := range rec.MemStall {
+		sum += v
+	}
+	fmt.Println("conserved:", sum == rec.EndCycle-rec.StartCycle)
+	fmt.Println("deterministic result:", res.Cycles > 0 && res.Instructions > 0)
+	// Output:
+	// conserved: true
+	// deterministic result: true
 }
 
 // ExampleTraceOf records a kernel's memory accesses and profiles its

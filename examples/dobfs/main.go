@@ -25,7 +25,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	dobfs, depths := droplet.TraceOfDOBFS(g, 0, 0, droplet.TraceOptions{Cores: 4})
+	dobfs, depths, err := droplet.TraceOfDOBFS(g, 0, 0, droplet.TraceOptions{Cores: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
 	reached := 0
 	for _, d := range depths {
 		if d < 1<<62 {

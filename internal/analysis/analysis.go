@@ -33,6 +33,7 @@ var simPackages = []string{
 	"droplet/internal/mem",
 	"droplet/internal/memsys",
 	"droplet/internal/prefetch",
+	"droplet/internal/telemetry",
 	"droplet/internal/trace",
 }
 

@@ -129,6 +129,37 @@ type Attachment struct {
 	MPP       *prefetch.MPP
 }
 
+// EngineSnapshot is a point-in-time view of one prefetch engine's
+// cumulative counters, used by the telemetry subsystem to derive per-epoch
+// deltas. Core is the owning core index (engines here are always
+// per-core; the shared MPP is reported separately via MPPStats).
+type EngineSnapshot struct {
+	Core     int
+	Name     string
+	Issued   uint64
+	Rejected uint64
+}
+
+// Engines appends a snapshot of every attached per-core engine to buf in
+// deterministic core order and returns the extended slice. Callers reuse
+// buf across epochs to keep the observer path allocation-free after the
+// first call.
+func (a *Attachment) Engines(buf []EngineSnapshot) []EngineSnapshot {
+	for c, s := range a.Streamers {
+		buf = append(buf, EngineSnapshot{Core: c, Name: "stream", Issued: s.Issued, Rejected: s.RejectedNonStructure})
+	}
+	for c, ad := range a.Adaptives {
+		buf = append(buf, EngineSnapshot{Core: c, Name: "adaptive", Issued: ad.Issued(), Rejected: ad.RejectedNonStructure()})
+	}
+	for c, g := range a.GHBs {
+		buf = append(buf, EngineSnapshot{Core: c, Name: "ghb", Issued: g.Issued})
+	}
+	for c, v := range a.VLDPs {
+		buf = append(buf, EngineSnapshot{Core: c, Name: "vldp", Issued: v.Issued})
+	}
+	return buf
+}
+
 // Attach wires the prefetch engines of kind k onto h for the workload
 // described by layout. It must be called before the simulation starts.
 func Attach(k PrefetcherKind, h *memsys.Hierarchy, layout *trace.Layout, opt Options) (*Attachment, error) {

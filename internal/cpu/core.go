@@ -45,6 +45,43 @@ type MemPort interface {
 	Access(core int, vaddr mem.Addr, dtype mem.DataType, write bool, now int64) (int64, memsys.Level)
 }
 
+// MLPBuckets is the number of bins in Stats.MLPHist. Buckets cover
+// outstanding-DRAM-load counts of 1, 2, 3, 4, 5-8, 9-16, 17-32, and 33+.
+const MLPBuckets = 8
+
+// MLPBucketLabel names histogram bucket i for sinks and table headers.
+func MLPBucketLabel(i int) string {
+	switch i {
+	case 0, 1, 2, 3:
+		return fmt.Sprintf("%d", i+1)
+	case 4:
+		return "5-8"
+	case 5:
+		return "9-16"
+	case 6:
+		return "17-32"
+	default:
+		return "33+"
+	}
+}
+
+// mlpBucket maps an outstanding-DRAM-load count (>= 1) to its histogram
+// bucket.
+func mlpBucket(n int) int {
+	switch {
+	case n <= 4:
+		return n - 1
+	case n <= 8:
+		return 4
+	case n <= 16:
+		return 5
+	case n <= 32:
+		return 6
+	default:
+		return 7
+	}
+}
+
 // Stats aggregates one core's execution counters.
 type Stats struct {
 	Instructions int64
@@ -55,6 +92,23 @@ type Stats struct {
 	// StallByLevel attributes retire-stall cycles to the hierarchy level
 	// that serviced the blocking load.
 	StallByLevel [memsys.NumLevels]int64
+	// DepWaitByLevel is the portion of StallByLevel spent waiting for the
+	// blocking load's producer to complete before it could even issue
+	// (Observation #2's serialization), keyed by the level that eventually
+	// serviced the consumer. Always <= StallByLevel per level.
+	DepWaitByLevel [memsys.NumLevels]int64
+	// QueueWaitByLevel is the portion of StallByLevel spent waiting for a
+	// load-queue slot (the structural MLP limit), again keyed by the
+	// servicing level and disjoint from DepWaitByLevel.
+	QueueWaitByLevel [memsys.NumLevels]int64
+	// BarrierStallCycles counts cycles parked at barriers waiting for the
+	// release (the gap between this core's arrival and the latest
+	// arrival). Telemetry splits it out of the base component; the
+	// end-of-run CycleStack keeps it folded into base, as before.
+	BarrierStallCycles int64
+	// MLPHist histograms the number of outstanding DRAM loads observed at
+	// each DRAM-load issue (bucket layout per MLPBucketLabel).
+	MLPHist [MLPBuckets]int64
 	// LoadsByLevel counts demand loads per servicing level.
 	LoadsByLevel [memsys.NumLevels]int64
 	// DRAMLatencySum is the summed in-flight time of DRAM-serviced loads;
@@ -117,6 +171,7 @@ type Core struct {
 	head   int
 	loadQ  minQueue // outstanding load completion times
 	storeQ minQueue // outstanding store completion times
+	dramQ  minQueue // outstanding DRAM-load completion times (MLP histogram)
 
 	stats Stats
 }
@@ -221,6 +276,7 @@ func NewCore(id int, cfg Config, port MemPort, stream []trace.Event) *Core {
 		widthShift: widthShift,
 		loadQ:      newMinQueue(cfg.LoadQueue),
 		storeQ:     newMinQueue(cfg.StoreQueue),
+		dramQ:      newMinQueue(cfg.LoadQueue),
 	}
 }
 
@@ -257,6 +313,7 @@ func (c *Core) PassBarrier(t int64) {
 		c.slots = t * int64(c.cfg.DispatchWidth)
 	}
 	if t > c.lastRetire {
+		c.stats.BarrierStallCycles += t - c.lastRetire
 		c.lastRetire = t
 	}
 	if c.lastRetire > c.stats.Cycles {
@@ -330,6 +387,7 @@ func (c *Core) Step() {
 				issue = dep
 			}
 		}
+		depIssue := issue // issue time after the dependency, before LQ wait
 		// Load-queue capacity bounds MLP: with the queue still full after
 		// pruning, the earliest outstanding completion is the time a slot
 		// frees.
@@ -347,13 +405,26 @@ func (c *Core) Step() {
 		c.stats.LoadsByLevel[lvl]++
 		if lvl == memsys.LevelDRAM {
 			c.stats.DRAMLatencySum += complete - issue
+			// Outstanding-DRAM concurrency at this issue point, for the
+			// telemetry MLP histogram. dramQ mirrors loadQ's eager-prune
+			// discipline at the same threshold, so its live set is exactly
+			// the DRAM loads in flight at `issue` (a subset of loadQ).
+			c.dramQ.prune(issue)
+			c.dramQ.push(complete)
+			c.stats.MLPHist[mlpBucket(c.dramQ.len())]++
 		}
 
-		// In-order retirement: attribute the stall to the servicing level.
+		// In-order retirement: attribute the stall to the servicing level,
+		// splitting off the time spent waiting to issue (producer
+		// dependency first, then a load-queue slot) from the memory
+		// latency itself. The three parts are disjoint and sum to stall.
 		floor := max64(c.lastRetire, dispatch+1)
 		retire := max64(complete, floor)
 		if stall := retire - floor; stall > 0 {
 			c.stats.StallByLevel[lvl] += stall
+			dep := clamp64(depIssue-floor, stall)
+			c.stats.DepWaitByLevel[lvl] += dep
+			c.stats.QueueWaitByLevel[lvl] += clamp64(issue-floor, stall) - dep
 		}
 		c.lastRetire = retire
 		c.recordROB(retire)
@@ -397,4 +468,15 @@ func max64(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+// clamp64 bounds v to [0, hi].
+func clamp64(v, hi int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	if v > hi {
+		return hi
+	}
+	return v
 }

@@ -3,10 +3,13 @@ package exp
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 
 	"droplet/internal/core"
 	"droplet/internal/sim"
+	"droplet/internal/telemetry"
 	"droplet/internal/trace"
 	"droplet/internal/workload"
 )
@@ -87,12 +90,64 @@ func (s *Suite) execute(req Request) (any, error) {
 	if req.Variant.Mutate != nil {
 		req.Variant.Mutate(&cfg)
 	}
-	r, err := sim.Run(tr, cfg)
+	r, err := s.simulate(req, tr, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s: %w", key, err)
 	}
 	s.progress(fmt.Sprintf("ran %-28s %12d cycles", key, r.Cycles))
 	return r, nil
+}
+
+// simulate runs one timing simulation, streaming epoch telemetry to
+// TelemetryDir when configured.
+func (s *Suite) simulate(req Request, tr *trace.Trace, cfg sim.Config) (*sim.Result, error) {
+	if s.TelemetryDir == "" {
+		return sim.Run(tr, cfg)
+	}
+	path := filepath.Join(s.TelemetryDir, sanitizeKey(req.key())+".jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	col := telemetry.NewCollector(telemetry.NewJSONLSink(f), telemetry.RunMeta{
+		Benchmark:   req.Bench.String(),
+		Kernel:      req.Bench.Algo.String(),
+		Variant:     req.Variant.Name,
+		EpochCycles: s.epochCycles(),
+	})
+	r, simErr := sim.Simulate(context.Background(), tr, cfg, sim.Options{
+		Observer:    col,
+		EpochCycles: s.EpochCycles,
+	})
+	if closeErr := f.Close(); simErr == nil {
+		simErr = closeErr
+	}
+	if simErr != nil {
+		return nil, simErr
+	}
+	return r, nil
+}
+
+// epochCycles resolves the configured granularity for telemetry metadata.
+func (s *Suite) epochCycles() int64 {
+	if s.EpochCycles > 0 {
+		return s.EpochCycles
+	}
+	return sim.DefaultEpochCycles
+}
+
+// sanitizeKey maps a request key onto a filesystem-safe file stem:
+// every byte outside [A-Za-z0-9._-] becomes '_'.
+func sanitizeKey(key string) string {
+	out := []byte(key)
+	for i, b := range out {
+		switch {
+		case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b >= '0' && b <= '9', b == '.', b == '_', b == '-':
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
 }
 
 // progress serializes delivery to the optional Progress sink.

@@ -66,6 +66,15 @@ type Suite struct {
 	Progress   func(string)
 	progressMu sync.Mutex
 
+	// TelemetryDir, when non-empty, streams epoch telemetry for every
+	// timing simulation to <dir>/<sanitized key>.jsonl. Files are written
+	// by the single flight that executes each key, so their contents are
+	// byte-identical regardless of Jobs.
+	TelemetryDir string
+	// EpochCycles sets the telemetry epoch granularity (0 means
+	// sim.DefaultEpochCycles). Only consulted when TelemetryDir is set.
+	EpochCycles int64
+
 	mu      sync.Mutex
 	flights map[string]*flight
 

@@ -93,6 +93,11 @@ type Stats struct {
 	// servicing level and data type; with ServicedBy as the denominator it
 	// gives average effective latencies, exposing in-flight wait costs.
 	LatencyByLevel [NumLevels][mem.NumDataTypes]int64
+	// DemandMergedInFlight counts demand accesses that hit a line whose
+	// fill was still in flight (readyAt in the future). In private caches
+	// the in-flight line is overwhelmingly a prefetch that arrived later
+	// than the demand wanted it — the telemetry timeliness signal.
+	DemandMergedInFlight [mem.NumDataTypes]uint64
 }
 
 // Hierarchy is the complete memory system.
@@ -320,6 +325,7 @@ func (h *Hierarchy) Access(core int, vaddr mem.Addr, dtype mem.DataType, write b
 	l1 := h.l1[core]
 	if ready, hit := l1.Access(paddr, dtype, write, t); hit {
 		if ready > t {
+			h.stats.DemandMergedInFlight[dtype]++
 			ready = h.expedite(paddr, ready, t)
 		}
 		h.stats.ServicedBy[LevelL1][dtype]++
@@ -357,6 +363,7 @@ func (h *Hierarchy) Access(core int, vaddr mem.Addr, dtype mem.DataType, write b
 
 	if l2Hit {
 		if l2Ready > t {
+			h.stats.DemandMergedInFlight[dtype]++
 			l2Ready = h.expedite(paddr, l2Ready, t)
 		}
 		complete := max64(l2Ready, t) + int64(h.cfg.L2.LatencyData)
@@ -375,6 +382,7 @@ func (h *Hierarchy) Access(core int, vaddr mem.Addr, dtype mem.DataType, write b
 
 	if ready, hit := h.llc.Access(paddr, dtype, write, t); hit {
 		if ready > t {
+			h.stats.DemandMergedInFlight[dtype]++
 			ready = h.expedite(paddr, ready, t)
 		}
 		complete := max64(ready, t) + int64(h.cfg.LLC.LatencyData)

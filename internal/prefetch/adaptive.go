@@ -62,6 +62,14 @@ func (a *AdaptiveStreamer) Name() string { return "adaptive" }
 // DataAware reports the current mode.
 func (a *AdaptiveStreamer) DataAware() bool { return a.s.cfg.DataAware }
 
+// Issued reports the wrapped streamer's issued-prefetch count.
+func (a *AdaptiveStreamer) Issued() uint64 { return a.s.Issued }
+
+// RejectedNonStructure reports the wrapped streamer's count of training
+// accesses rejected for not targeting structure data (only meaningful
+// while data-aware mode is active).
+func (a *AdaptiveStreamer) RejectedNonStructure() uint64 { return a.s.RejectedNonStructure }
+
 // OnAccess implements L2Prefetcher.
 //droplet:hotpath
 func (a *AdaptiveStreamer) OnAccess(ev AccessInfo, reqs []Req) []Req {

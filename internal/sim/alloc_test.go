@@ -1,0 +1,35 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"droplet/internal/core"
+)
+
+// TestSimulateNilObserverZeroAlloc proves the nil-observer Simulate path
+// adds zero allocations over the pre-redesign Run path: with a zero
+// Options and a non-cancellable context, Simulate must take exactly the
+// driveQuantum drive (no closure, no observer bookkeeping). This pins
+// the PR2 zero-alloc hot-path guarantee across the api_redesign —
+// attaching the telemetry seam must cost nothing when telemetry is off.
+func TestSimulateNilObserverZeroAlloc(t *testing.T) {
+	tr := quickTrace(t)
+	cfg := quickMachine()
+	cfg.Prefetcher = core.DROPLET
+
+	baseline := testing.AllocsPerRun(3, func() {
+		if _, err := run(tr, cfg, driveQuantum); err != nil {
+			t.Fatal(err)
+		}
+	})
+	full := testing.AllocsPerRun(3, func() {
+		if _, err := Simulate(context.Background(), tr, cfg, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if extra := full - baseline; extra != 0 {
+		t.Errorf("nil-observer Simulate allocates %v times beyond Run (baseline %v, full %v)",
+			extra, baseline, full)
+	}
+}

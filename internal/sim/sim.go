@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"droplet/internal/cache"
@@ -14,6 +15,7 @@ import (
 	"droplet/internal/dram"
 	"droplet/internal/mem"
 	"droplet/internal/memsys"
+	"droplet/internal/telemetry"
 	"droplet/internal/trace"
 )
 
@@ -87,9 +89,90 @@ type Result struct {
 	Attachment   *core.Attachment
 }
 
+// DefaultEpochCycles is the telemetry epoch granularity used when
+// Options.EpochCycles is zero.
+const DefaultEpochCycles = 100_000
+
+// Options tunes Simulate beyond the machine Config. The zero value is
+// equivalent to Run.
+type Options struct {
+	// Observer, when non-nil, is attached to the machine before the first
+	// step and pulled at every epoch boundary.
+	Observer telemetry.Observer
+	// EpochCycles is the epoch granularity in core cycles (defaults to
+	// DefaultEpochCycles). Only consulted when an Observer or Progress
+	// callback is installed.
+	EpochCycles int64
+	// Progress, when non-nil, is called at every epoch boundary with the
+	// elected core's clock — a cheap liveness signal for long runs.
+	Progress func(cycle int64)
+}
+
 // Run simulates tr on a machine built from cfg.
 func Run(tr *trace.Trace, cfg Config) (*Result, error) {
-	return run(tr, cfg, driveQuantum)
+	return Simulate(context.Background(), tr, cfg, Options{})
+}
+
+// Simulate runs tr on a machine built from cfg, honoring ctx
+// cancellation and the observer/progress hooks in opts. With a zero
+// Options and a non-cancellable context it takes exactly the same
+// zero-overhead drive path as Run; observers never change the executed
+// step sequence, so the returned Result is identical with telemetry on
+// or off.
+func Simulate(ctx context.Context, tr *trace.Trace, cfg Config, opts Options) (*Result, error) {
+	if opts.EpochCycles < 0 {
+		return nil, fmt.Errorf("sim: negative epoch granularity %d", opts.EpochCycles)
+	}
+	if cfg.Cores != tr.NumCores() {
+		return nil, fmt.Errorf("sim: machine has %d cores but trace has %d streams", cfg.Cores, tr.NumCores())
+	}
+	h, err := memsys.New(cfg.memConfig(), tr.Layout.AS)
+	if err != nil {
+		return nil, err
+	}
+	att, err := core.Attach(cfg.Prefetcher, h, tr.Layout, cfg.Prefetch)
+	if err != nil {
+		return nil, err
+	}
+	cores := make([]*cpu.Core, cfg.Cores)
+	for i := range cores {
+		cores[i] = cpu.NewCore(i, cfg.CPU, h, tr.PerCore[i])
+	}
+
+	if opts.Observer == nil && opts.Progress == nil && ctx.Done() == nil {
+		driveQuantum(cores)
+	} else {
+		epoch := opts.EpochCycles
+		if epoch == 0 {
+			epoch = DefaultEpochCycles
+		}
+		var onEpoch func(int64)
+		switch {
+		case opts.Observer != nil && opts.Progress != nil:
+			obs, prog := opts.Observer, opts.Progress
+			onEpoch = func(cyc int64) { obs.Epoch(cyc); prog(cyc) }
+		case opts.Observer != nil:
+			onEpoch = opts.Observer.Epoch
+		default:
+			onEpoch = opts.Progress
+		}
+		if opts.Observer != nil {
+			if err := opts.Observer.Attach(telemetry.Sources{Cores: cores, Hier: h, Att: att}); err != nil {
+				return nil, err
+			}
+		}
+		if err := driveObserved(ctx, cores, epoch, onEpoch); err != nil {
+			return nil, err
+		}
+	}
+
+	res := collect(cfg, h, att, cores)
+	if opts.Observer != nil {
+		if err := opts.Observer.Finish(res.Cycles); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
 }
 
 // run builds the machine and lets drive push every core through its
@@ -114,7 +197,11 @@ func run(tr *trace.Trace, cfg Config, drive func([]*cpu.Core)) (*Result, error) 
 		cores[i] = cpu.NewCore(i, cfg.CPU, h, tr.PerCore[i])
 	}
 	drive(cores)
+	return collect(cfg, h, att, cores), nil
+}
 
+// collect folds the finished machine into a Result.
+func collect(cfg Config, h *memsys.Hierarchy, att *core.Attachment, cores []*cpu.Core) *Result {
 	res := &Result{
 		Config:     cfg,
 		CoreStats:  make([]cpu.Stats, cfg.Cores),
@@ -129,7 +216,7 @@ func run(tr *trace.Trace, cfg Config, drive func([]*cpu.Core)) (*Result, error) 
 		}
 		res.Instructions += s.Instructions
 	}
-	return res, nil
+	return res
 }
 
 // driveReference is the original per-event loop: every iteration rescans
@@ -236,6 +323,80 @@ func driveQuantum(cores []*cpu.Core) {
 				break
 			}
 			if clk := next.Clock(); clk > runnerClk || (clk == runnerClk && !tieWins) {
+				break
+			}
+		}
+	}
+}
+
+// driveObserved executes the exact step sequence of driveQuantum while
+// additionally (a) honoring context cancellation once per election and
+// (b) invoking onEpoch the first time the elected core's clock crosses
+// an epoch boundary. Quanta are capped at the next boundary; breaking a
+// quantum early and re-electing always re-selects the same core (a step
+// never moves another core's clock, barrier, or done state), so the
+// observer cannot perturb the simulation. Deliberately not a
+// //droplet:hotpath root: the callback indirection is off the
+// zero-alloc invariant, and the nil-observer path never comes here.
+func driveObserved(ctx context.Context, cores []*cpu.Core, epoch int64, onEpoch func(int64)) error {
+	nextBoundary := epoch
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		bestIdx, runnerIdx := -1, -1
+		var bestClk, runnerClk int64
+		allDone := true
+		for i, c := range cores {
+			if c.Done() {
+				continue
+			}
+			allDone = false
+			if c.AtBarrier() {
+				continue
+			}
+			clk := c.Clock()
+			switch {
+			case bestIdx < 0:
+				bestIdx, bestClk = i, clk
+			case clk < bestClk:
+				runnerIdx, runnerClk = bestIdx, bestClk
+				bestIdx, bestClk = i, clk
+			case runnerIdx < 0 || clk < runnerClk:
+				runnerIdx, runnerClk = i, clk
+			}
+		}
+		if allDone {
+			return nil
+		}
+		if bestIdx < 0 {
+			releaseBarrier(cores)
+			continue
+		}
+		if bestClk >= nextBoundary {
+			onEpoch(bestClk)
+			nextBoundary = (bestClk/epoch + 1) * epoch
+		}
+		next := cores[bestIdx]
+		if runnerIdx < 0 {
+			// Sole runnable core: drain to its next barrier, stream end, or
+			// epoch boundary, whichever comes first.
+			for !next.Done() && !next.AtBarrier() && next.Clock() < nextBoundary {
+				next.Step()
+			}
+			continue
+		}
+		tieWins := bestIdx < runnerIdx
+		for {
+			next.Step()
+			if next.Done() || next.AtBarrier() {
+				break
+			}
+			clk := next.Clock()
+			if clk > runnerClk || (clk == runnerClk && !tieWins) {
+				break
+			}
+			if clk >= nextBoundary {
 				break
 			}
 		}

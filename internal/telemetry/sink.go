@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Sink receives the record stream. Begin is called once with the run
+// metadata before any record, Emit once per epoch (the record is reused
+// by the Collector, so sinks must serialize or copy before returning),
+// and End once after the last record.
+type Sink interface {
+	Begin(meta *RunMeta) error
+	Emit(rec *EpochRecord) error
+	End() error
+}
+
+// JSONLSink streams one JSON object per line: first a {"meta": ...}
+// wrapper, then one EpochRecord per epoch. Output is deterministic —
+// struct fields only, no maps, no timestamps — so two runs of the same
+// simulation produce byte-identical streams.
+type JSONLSink struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewJSONLSink wraps w; the caller retains ownership of the underlying
+// writer (close files after End).
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
+}
+
+type metaLine struct {
+	Meta *RunMeta `json:"meta"`
+}
+
+// Begin implements Sink.
+func (s *JSONLSink) Begin(meta *RunMeta) error { return s.enc.Encode(metaLine{Meta: meta}) }
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(rec *EpochRecord) error { return s.enc.Encode(rec) }
+
+// End implements Sink.
+func (s *JSONLSink) End() error { return s.w.Flush() }
+
+// CSVSink writes one row per (epoch, core): the per-core cycle stack,
+// load mix, and MLP histogram. Machine-wide and per-engine counters are
+// JSONL-only; the CSV view targets spreadsheet-style cycle-stack plots.
+type CSVSink struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+// NewCSVSink wraps w; the caller retains ownership of the underlying
+// writer.
+func NewCSVSink(w io.Writer) *CSVSink { return &CSVSink{w: bufio.NewWriter(w)} }
+
+// Begin implements Sink.
+func (s *CSVSink) Begin(meta *RunMeta) error {
+	s.buf = append(s.buf[:0], "epoch,min_cycle,core,start_cycle,end_cycle,instructions,loads,stores,base,dep_stall,queue_stall,barrier_stall"...)
+	for _, l := range meta.Levels {
+		s.buf = append(s.buf, ",stall_"...)
+		s.buf = append(s.buf, l...)
+	}
+	for _, l := range meta.Levels {
+		s.buf = append(s.buf, ",loads_"...)
+		s.buf = append(s.buf, l...)
+	}
+	for _, b := range meta.MLPBuckets {
+		s.buf = append(s.buf, ",mlp_"...)
+		s.buf = append(s.buf, b...)
+	}
+	s.buf = append(s.buf, '\n')
+	_, err := s.w.Write(s.buf)
+	return err
+}
+
+// Emit implements Sink.
+func (s *CSVSink) Emit(rec *EpochRecord) error {
+	for i := range rec.Cores {
+		c := &rec.Cores[i]
+		b := s.buf[:0]
+		b = strconv.AppendInt(b, rec.Epoch, 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, rec.MinCycle, 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(c.Core), 10)
+		for _, v := range []int64{c.StartCycle, c.EndCycle, c.Instructions, c.Loads, c.Stores, c.Base, c.DepStall, c.QueueStall, c.BarrierStall} {
+			b = append(b, ',')
+			b = strconv.AppendInt(b, v, 10)
+		}
+		for _, v := range c.MemStall {
+			b = append(b, ',')
+			b = strconv.AppendInt(b, v, 10)
+		}
+		for _, v := range c.LoadsByLevel {
+			b = append(b, ',')
+			b = strconv.AppendInt(b, v, 10)
+		}
+		for _, v := range c.MLPHist {
+			b = append(b, ',')
+			b = strconv.AppendInt(b, v, 10)
+		}
+		b = append(b, '\n')
+		s.buf = b
+		if _, err := s.w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// End implements Sink.
+func (s *CSVSink) End() error { return s.w.Flush() }
+
+// MemorySink retains the full stream in memory for tests and in-process
+// analysis. Records are deep-copied since the Collector reuses its
+// record buffer.
+type MemorySink struct {
+	Meta    RunMeta
+	Records []EpochRecord
+	ended   bool
+}
+
+// Begin implements Sink.
+func (s *MemorySink) Begin(meta *RunMeta) error {
+	s.Meta = *meta
+	return nil
+}
+
+// Emit implements Sink.
+func (s *MemorySink) Emit(rec *EpochRecord) error {
+	cp := *rec
+	cp.Cores = append([]CoreEpoch(nil), rec.Cores...)
+	cp.Engines = append([]EngineEpoch(nil), rec.Engines...)
+	if rec.MPP != nil {
+		m := *rec.MPP
+		cp.MPP = &m
+	}
+	s.Records = append(s.Records, cp)
+	return nil
+}
+
+// End implements Sink.
+func (s *MemorySink) End() error {
+	if s.ended {
+		return fmt.Errorf("telemetry: MemorySink.End called twice")
+	}
+	s.ended = true
+	return nil
+}
