@@ -228,6 +228,45 @@ func TraceOfDOBFS(g *Graph, alpha, beta int, opt TraceOptions) (*Trace, []int64,
 	return tr, depths, nil
 }
 
+// TraceStream is a pull-based trace generator: the same kernel events a
+// materialized Trace would hold, produced into a bounded per-core window
+// as the simulator consumes them. Peak memory is O(window), so graphs
+// whose materialized trace would not fit in RAM still simulate.
+type TraceStream = trace.Stream
+
+// StreamConfig sizes the bounded per-core window of a TraceStream
+// (zero values pick the defaults).
+type StreamConfig = trace.StreamConfig
+
+// StreamOf is the streaming counterpart of TraceOf: it returns a
+// generator for kernel k over g instead of a materialized trace. The
+// kernel runs lazily inside the stream's producers, so the per-vertex
+// reference result is not available for validation — TraceOf and the
+// equivalence tests cover that. Pass the stream to SimulateStream.
+func StreamOf(k Kernel, g *Graph, opt TraceOptions, cfg StreamConfig) (*TraceStream, error) {
+	if err := validateTraceInputs(g, opt); err != nil {
+		return nil, err
+	}
+	src := graph.LargestComponentSource(g)
+	switch k {
+	case PR:
+		return trace.StreamPageRank(g, g.Transpose(), opt, cfg), nil
+	case BFS:
+		return trace.StreamBFS(g, src, opt, cfg), nil
+	case SSSP:
+		if !g.Weighted() {
+			return nil, fmt.Errorf("droplet: SSSP requires a weighted graph")
+		}
+		return trace.StreamSSSP(g, src, 0, opt, cfg), nil
+	case CC:
+		return trace.StreamCC(g, opt, cfg), nil
+	case BC:
+		return trace.StreamBC(g, []uint32{src}, opt, cfg), nil
+	default:
+		return nil, fmt.Errorf("droplet: unknown kernel %v", k)
+	}
+}
+
 // AnalyzeDependencies computes the load-load dependency profile of a
 // trace through a ROB window of the given size.
 func AnalyzeDependencies(tr *Trace, robSize int) DepStats {
@@ -372,6 +411,44 @@ func WithProgress(fn func(cycle int64)) Option {
 	return func(o *sim.Options) { o.Progress = fn }
 }
 
+// Sampling configures SMARTS-style interval sampling: detailed
+// measurement windows alternate with fast-forwarded execution, and the
+// Result carries a SampleReport with the extrapolated cycle estimate.
+type Sampling = sim.Sampling
+
+// SampleReport is the sampling outcome attached to Result.Sampled.
+type SampleReport = sim.SampleReport
+
+// Warming selects how fast-forwarded epochs treat the memory hierarchy.
+type Warming = sim.Warming
+
+// The warming policies.
+const (
+	// WarmFunctional keeps caches functionally warm while fast-forwarding
+	// (higher fidelity, less speedup).
+	WarmFunctional = sim.WarmFunctional
+	// WarmNone skips the hierarchy entirely while fast-forwarding and
+	// relies on the per-interval warmup epochs (maximum speedup).
+	WarmNone = sim.WarmNone
+)
+
+// ParseWarming resolves a warming policy name ("functional", "none").
+func ParseWarming(s string) (Warming, error) { return sim.ParseWarming(s) }
+
+// WithSampling runs the simulation under SMARTS interval sampling.
+// Result.Cycles stays the raw (partially fast-forwarded) clock;
+// Result.Sampled carries the extrapolated estimate.
+func WithSampling(s Sampling) Option {
+	return func(o *sim.Options) { o.Sampling = s }
+}
+
+// WithDepRingEvents overrides the streaming dependency-ring capacity
+// (the farthest-back Event.Dep a streaming core can resolve; default
+// core.DefaultDepRingEvents). Only consulted by SimulateStream.
+func WithDepRingEvents(n int) Option {
+	return func(o *sim.Options) { o.DepRingEvents = n }
+}
+
 // Simulate runs tr on a machine built from cfg, honoring ctx
 // cancellation and the given options. With no options and a
 // non-cancellable context it is identical to Run (same zero-overhead,
@@ -390,6 +467,19 @@ func Simulate(ctx context.Context, tr *Trace, cfg MachineConfig, opts ...Option)
 // Simulate(context.Background(), tr, cfg).
 func Run(tr *Trace, cfg MachineConfig) (*Result, error) {
 	return Simulate(context.Background(), tr, cfg)
+}
+
+// SimulateStream is Simulate over a pull-based TraceStream: events are
+// generated as the cores consume them, so peak memory is bounded by the
+// stream's window instead of the trace length. For any kernel and graph
+// the executed step sequence — and therefore the Result — is identical
+// to Simulate over the materialized trace.
+func SimulateStream(ctx context.Context, st *TraceStream, cfg MachineConfig, opts ...Option) (*Result, error) {
+	var o sim.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return sim.SimulateStream(ctx, st, cfg, o)
 }
 
 // DataType classifies accesses (structure / property / intermediate).

@@ -11,6 +11,7 @@ package cpu
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 
 	"droplet/internal/mem"
@@ -43,6 +44,21 @@ func (c Config) Validate() error {
 // MemPort is the core's view of the memory hierarchy.
 type MemPort interface {
 	Access(core int, vaddr mem.Addr, dtype mem.DataType, write bool, now int64) (int64, memsys.Level)
+}
+
+// WarmPort is the optional functional-warming view of the hierarchy: it
+// advances cache/TLB state for an access without computing detailed
+// timing. StepFast uses it during sampled fast-forward epochs when the
+// port implements it.
+type WarmPort interface {
+	Warm(core int, vaddr mem.Addr, dtype mem.DataType, write bool, now int64)
+}
+
+// EventSource feeds a core its event stream in batches. Next returns the
+// next non-empty batch, recycling the previous one, and nil at end of
+// stream (trace.CoreSource is the canonical implementation).
+type EventSource interface {
+	Next(recycle []trace.Event) []trace.Event
 }
 
 // MLPBuckets is the number of bins in Stats.MLPHist. Buckets cover
@@ -148,7 +164,9 @@ type robEntry struct {
 	retire int64
 }
 
-// Core simulates one core consuming its event stream.
+// Core simulates one core consuming its event stream — either a fully
+// materialized slice (NewCore) or a bounded-window EventSource
+// (NewStreamingCore), pulled one batch at a time.
 type Core struct {
 	id     int
 	cfg    Config
@@ -156,9 +174,33 @@ type Core struct {
 	stream []trace.Event
 	pos    int
 
+	// src is the batch source in streaming mode (nil when materialized);
+	// base is the absolute stream index of stream[0]. The refill
+	// invariant: whenever pos == len(stream) and src != nil, the next
+	// batch is pulled immediately, so Done/AtBarrier never need to know
+	// about batching.
+	src  EventSource
+	base int64
+	// caMask folds absolute event indices into completeAt. Materialized
+	// cores use the identity mask (-1: idx & -1 == idx); streaming cores
+	// use a power-of-two ring whose size bounds the representable
+	// dependency distance (depLimit), checked at every dependent access.
+	caMask   int64
+	depLimit int64
+	// warm is the port's functional-warming interface, resolved once at
+	// construction (nil if the port doesn't provide one).
+	warm WarmPort
+
 	slots      int64 // dispatch slots consumed (cycles × width)
 	lastRetire int64
 	instr      int64
+
+	// ffPace paces fast-forward: extra dispatch slots charged per
+	// instruction beyond the ideal one, so StepFast advances the clock at
+	// a measured CPI instead of the ideal 1/width (see SetFastPace).
+	// ffDebt carries the fractional remainder between events.
+	ffPace float64
+	ffDebt float64
 
 	completeAt []int64 // completion time per event index (dep targets)
 	// widthShift is log2(DispatchWidth) when it is a power of two, else
@@ -258,8 +300,48 @@ func (q *minQueue) prune(now int64) {
 	}
 }
 
-// NewCore builds a core over stream; invalid configs panic.
+// NewCore builds a core over a materialized stream; invalid configs
+// panic.
 func NewCore(id int, cfg Config, port MemPort, stream []trace.Event) *Core {
+	c := newCore(id, cfg, port)
+	c.stream = stream
+	c.completeAt = make([]int64, len(stream))
+	c.caMask = -1 // identity: idx & -1 == idx
+	c.depLimit = math.MaxInt64
+	return c
+}
+
+// DefaultDepRingEvents sizes the streaming completion ring (and so the
+// maximum representable load-dependency distance). CC's hooking phase
+// keeps one producer load live across a vertex's whole edge loop (~4
+// events per edge), so the ring must cover ~4× the maximum degree; 2M
+// events (16 MiB per core) covers degrees well past the largest
+// synthetic graphs while staying far below the materialized footprint.
+const DefaultDepRingEvents = 1 << 21
+
+// NewStreamingCore builds a core that pulls its stream from src in
+// bounded batches. ringEvents bounds the load-dependency distance (the
+// completion ring size, rounded up to a power of two; <= 0 picks
+// DefaultDepRingEvents). A dependency reaching further back than the
+// ring panics rather than silently reading an overwritten slot.
+func NewStreamingCore(id int, cfg Config, port MemPort, src EventSource, ringEvents int) *Core {
+	if ringEvents <= 0 {
+		ringEvents = DefaultDepRingEvents
+	}
+	ring := 1
+	for ring < ringEvents {
+		ring <<= 1
+	}
+	c := newCore(id, cfg, port)
+	c.src = src
+	c.completeAt = make([]int64, ring)
+	c.caMask = int64(ring - 1)
+	c.depLimit = int64(ring)
+	c.refill()
+	return c
+}
+
+func newCore(id int, cfg Config, port MemPort) *Core {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
@@ -267,17 +349,26 @@ func NewCore(id int, cfg Config, port MemPort, stream []trace.Event) *Core {
 	if w := cfg.DispatchWidth; w&(w-1) == 0 {
 		widthShift = bits.TrailingZeros64(uint64(w))
 	}
+	warm, _ := port.(WarmPort)
 	return &Core{
 		id:         id,
 		cfg:        cfg,
 		port:       port,
-		stream:     stream,
-		completeAt: make([]int64, len(stream)),
+		warm:       warm,
 		widthShift: widthShift,
 		loadQ:      newMinQueue(cfg.LoadQueue),
 		storeQ:     newMinQueue(cfg.StoreQueue),
 		dramQ:      newMinQueue(cfg.LoadQueue),
 	}
+}
+
+// refill pulls the next batch, recycling the finished one. On EOF the
+// stream becomes nil, so Done reports true. Must only be called with
+// pos == len(stream).
+func (c *Core) refill() {
+	c.base += int64(c.pos)
+	c.pos = 0
+	c.stream = c.src.Next(c.stream)
 }
 
 // Stats returns the live counters.
@@ -309,6 +400,9 @@ func (c *Core) PassBarrier(t int64) {
 	ev := c.stream[c.pos]
 	c.dispatchCompute(int64(ev.Comp))
 	c.pos++
+	if c.src != nil && c.pos == len(c.stream) {
+		c.refill()
+	}
 	if t*int64(c.cfg.DispatchWidth) > c.slots {
 		c.slots = t * int64(c.cfg.DispatchWidth)
 	}
@@ -346,7 +440,7 @@ func (c *Core) dispatchCompute(n int64) {
 //droplet:hotpath
 func (c *Core) Step() {
 	ev := c.stream[c.pos]
-	idx := c.pos
+	idx := c.base + int64(c.pos)
 	c.pos++
 	if ev.Kind == trace.KindBarrier {
 		panic("cpu: Step on barrier event; use PassBarrier")
@@ -383,7 +477,10 @@ func (c *Core) Step() {
 		// Producer-consumer dependency: the address needs the producer
 		// load's value (Observation #2's serialization).
 		if ev.Dep >= 0 {
-			if dep := c.completeAt[ev.Dep]; dep > issue {
+			if idx-int64(ev.Dep) > c.depLimit {
+				panic("cpu: load dependency distance exceeds the streaming completion ring")
+			}
+			if dep := c.completeAt[int64(ev.Dep)&c.caMask]; dep > issue {
 				issue = dep
 			}
 		}
@@ -400,7 +497,7 @@ func (c *Core) Step() {
 			c.loadQ.prune(issue)
 		}
 		complete, lvl := c.port.Access(c.id, ev.Addr, ev.DType, false, issue)
-		c.completeAt[idx] = complete
+		c.completeAt[idx&c.caMask] = complete
 		c.loadQ.push(complete)
 		c.stats.LoadsByLevel[lvl]++
 		if lvl == memsys.LevelDRAM {
@@ -433,7 +530,10 @@ func (c *Core) Step() {
 		c.stats.Stores++
 		issue := dispatch
 		if ev.Dep >= 0 {
-			if dep := c.completeAt[ev.Dep]; dep > issue {
+			if idx-int64(ev.Dep) > c.depLimit {
+				panic("cpu: store dependency distance exceeds the streaming completion ring")
+			}
+			if dep := c.completeAt[int64(ev.Dep)&c.caMask]; dep > issue {
 				issue = dep
 			}
 		}
@@ -446,7 +546,7 @@ func (c *Core) Step() {
 			c.storeQ.prune(issue)
 		}
 		complete, _ := c.port.Access(c.id, ev.Addr, ev.DType, true, issue)
-		c.completeAt[idx] = complete
+		c.completeAt[idx&c.caMask] = complete
 		c.storeQ.push(complete)
 		// Stores retire from the store buffer without stalling the core.
 		retire := max64(c.lastRetire, dispatch+1)
@@ -456,6 +556,77 @@ func (c *Core) Step() {
 
 	if c.lastRetire > c.stats.Cycles {
 		c.stats.Cycles = c.lastRetire
+	}
+	if c.src != nil && c.pos == len(c.stream) {
+		c.refill()
+	}
+}
+
+// SetFastPace sets the CPI at which StepFast advances the core's clock.
+// Fast-forwarding at the ideal 1/width CPI compresses the clock by the
+// true CPI × width, which both starves periodic sampling of measurement
+// windows and erases the inter-core arrival skew that determines barrier
+// waits. Pacing fast-forward at the core's measured CPI keeps the clock —
+// and with it barrier-release timing and window density — close to the
+// detailed run's. Values at or below the ideal CPI reset to ideal pacing.
+func (c *Core) SetFastPace(cpi float64) {
+	pace := cpi*float64(c.cfg.DispatchWidth) - 1
+	if pace < 0 {
+		pace = 0
+	}
+	c.ffPace = pace
+}
+
+// StepFast processes the next event in fast-forward mode: functional
+// state advances (instruction/load/store counts, the dispatch clock at
+// the pace set by SetFastPace, and — when warm is set and the port
+// supports it — cache and TLB contents), but no detailed timing is
+// computed: no ROB window, no queue modeling, no stall attribution. The
+// whole advance lands in the cycle stack's base component, which
+// sampling discards; only measured epochs contribute timing. Must not be
+// called when Done or AtBarrier.
+//droplet:hotpath
+func (c *Core) StepFast(warm bool) {
+	ev := c.stream[c.pos]
+	idx := c.base + int64(c.pos)
+	c.pos++
+	if ev.Kind == trace.KindBarrier {
+		panic("cpu: StepFast on barrier event; use PassBarrier")
+	}
+
+	// Charge the pacing surcharge before dispatch so the event's own
+	// completion and retire times land on the paced clock.
+	if c.ffPace > 0 {
+		c.ffDebt += float64(int64(ev.Comp)+1) * c.ffPace
+		if add := int64(c.ffDebt); add > 0 {
+			c.slots += add
+			c.ffDebt -= float64(add)
+		}
+	}
+	c.dispatchCompute(int64(ev.Comp))
+	c.slots++
+	c.instr++
+	c.stats.Instructions++
+	now := c.dispatchCycle()
+	if ev.Kind == trace.KindLoad {
+		c.stats.Loads++
+	} else {
+		c.stats.Stores++
+	}
+	if warm && c.warm != nil {
+		c.warm.Warm(c.id, ev.Addr, ev.DType, ev.Kind == trace.KindStore, now)
+	}
+	// Record an idealized completion so dependency lookups from a later
+	// detailed epoch resolve without fabricating stalls.
+	c.completeAt[idx&c.caMask] = now
+	if r := now + 1; r > c.lastRetire {
+		c.lastRetire = r
+	}
+	if c.lastRetire > c.stats.Cycles {
+		c.stats.Cycles = c.lastRetire
+	}
+	if c.src != nil && c.pos == len(c.stream) {
+		c.refill()
 	}
 }
 

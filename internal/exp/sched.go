@@ -99,10 +99,16 @@ func (s *Suite) execute(req Request) (any, error) {
 }
 
 // simulate runs one timing simulation, streaming epoch telemetry to
-// TelemetryDir when configured.
+// TelemetryDir and sampling per Sample when configured.
 func (s *Suite) simulate(req Request, tr *trace.Trace, cfg sim.Config) (*sim.Result, error) {
 	if s.TelemetryDir == "" {
-		return sim.Run(tr, cfg)
+		if !s.Sample.Enabled() {
+			return sim.Run(tr, cfg)
+		}
+		return sim.Simulate(context.Background(), tr, cfg, sim.Options{
+			Sampling:    s.Sample,
+			EpochCycles: s.EpochCycles,
+		})
 	}
 	path := filepath.Join(s.TelemetryDir, sanitizeKey(req.key())+".jsonl")
 	f, err := os.Create(path)
@@ -118,6 +124,7 @@ func (s *Suite) simulate(req Request, tr *trace.Trace, cfg sim.Config) (*sim.Res
 	r, simErr := sim.Simulate(context.Background(), tr, cfg, sim.Options{
 		Observer:    col,
 		EpochCycles: s.EpochCycles,
+		Sampling:    s.Sample,
 	})
 	if closeErr := f.Close(); simErr == nil {
 		simErr = closeErr

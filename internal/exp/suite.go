@@ -32,6 +32,8 @@ type Variant struct {
 func Machine(sc workload.Scale) sim.Config {
 	cfg := sim.DefaultConfig()
 	switch sc {
+	case workload.Huge:
+		// Paper-scale graphs run against the unscaled Table I machine.
 	case workload.Full:
 		cfg.L1.SizeBytes = 8 << 10
 		cfg.L2.SizeBytes = 64 << 10
@@ -72,8 +74,15 @@ type Suite struct {
 	// byte-identical regardless of Jobs.
 	TelemetryDir string
 	// EpochCycles sets the telemetry epoch granularity (0 means
-	// sim.DefaultEpochCycles). Only consulted when TelemetryDir is set.
+	// sim.DefaultEpochCycles). Only consulted when TelemetryDir is set
+	// or Sample is enabled.
 	EpochCycles int64
+
+	// Sample, when enabled, runs every timing simulation under SMARTS
+	// interval sampling: Result.Cycles stays the raw (partially
+	// fast-forwarded) clock, and Result.Sampled carries the extrapolated
+	// cycle estimate. Dependency analyses are unaffected.
+	Sample sim.Sampling
 
 	mu      sync.Mutex
 	flights map[string]*flight

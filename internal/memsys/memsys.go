@@ -467,8 +467,18 @@ func (h *Hierarchy) fillUpper(core int, paddr mem.Addr, dtype mem.DataType, read
 // to DRAM.
 func (h *Hierarchy) fillLLC(paddr mem.Addr, dtype mem.DataType, readyAt int64, pf bool) {
 	v := h.llc.Fill(paddr, dtype, readyAt, pf)
+	if h.fillLLCEvict(v) {
+		h.mc.Access(dram.Request{Addr: v.Addr, Write: true, DType: v.DType}, readyAt)
+	}
+}
+
+// fillLLCEvict performs the inclusive back-invalidation for an LLC
+// victim and reports whether it needs a DRAM writeback. Split from
+// fillLLC so the functional-warming path can maintain inclusion without
+// generating memory-controller traffic.
+func (h *Hierarchy) fillLLCEvict(v cache.Victim) bool {
 	if !v.Valid {
-		return
+		return false
 	}
 	dirty := v.Dirty
 	if h.upperBits {
@@ -501,9 +511,47 @@ func (h *Hierarchy) fillLLC(paddr mem.Addr, dtype mem.DataType, readyAt int64, p
 			}
 		}
 	}
-	if dirty {
-		h.mc.Access(dram.Request{Addr: v.Addr, Write: true, DType: v.DType}, readyAt)
+	return dirty
+}
+
+// Warm implements cpu.WarmPort: it advances the functional state an
+// access would leave behind — translation memos, cache contents,
+// replacement and dirty bits, inclusion bookkeeping — without computing
+// detailed timing. No memory-controller traffic is generated (victim
+// writebacks are timing-only and are dropped), no prefetchers run, and
+// no refill callbacks fire, so a warmed epoch costs a cache walk instead
+// of a full hierarchy simulation. Hit/miss counters in the caches still
+// advance (the accesses are architecturally real); the demand
+// ServicedBy/latency attribution stays untouched because no service
+// level or latency is computed.
+func (h *Hierarchy) Warm(core int, vaddr mem.Addr, dtype mem.DataType, write bool, now int64) {
+	vline := mem.LineAddr(vaddr)
+	pte, _, ok := h.translate(core, vline)
+	if !ok {
+		panic(fmt.Sprintf("memsys: access to unmapped address %#x", vaddr))
 	}
+	paddr := pte.PPN<<mem.PageShift | (vline & (mem.PageSize - 1))
+
+	l1 := h.l1[core]
+	if _, hit := l1.Access(paddr, dtype, write, now); hit {
+		return
+	}
+	l2 := h.l2[core]
+	if l2 != nil {
+		if _, hit := l2.Access(paddr, dtype, write, now); hit {
+			h.fillUpper(core, paddr, dtype, now, write, true, false)
+			return
+		}
+	}
+	if _, hit := h.llc.Access(paddr, dtype, write, now); hit {
+		h.markUpper(core, paddr)
+		h.fillUpper(core, paddr, dtype, now, write, true, true)
+		return
+	}
+	// Off-chip: install the line at every level, ready immediately.
+	h.fillLLCEvict(h.llc.Fill(paddr, dtype, now, false))
+	h.markUpper(core, paddr)
+	h.fillUpper(core, paddr, dtype, now, write, true, true)
 }
 
 // markUpper records that core is installing a private copy of paddr, so

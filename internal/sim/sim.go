@@ -87,6 +87,10 @@ type Result struct {
 	CoreStats    []cpu.Stats
 	Hier         *memsys.Hierarchy
 	Attachment   *core.Attachment
+	// Sampled carries the extrapolation of a sampled run (nil otherwise).
+	// When set, Cycles is the raw fast-forward-inclusive clock and
+	// Sampled.ExtrapolatedCycles is the full-run estimate.
+	Sampled *SampleReport
 }
 
 // DefaultEpochCycles is the telemetry epoch granularity used when
@@ -106,6 +110,24 @@ type Options struct {
 	// Progress, when non-nil, is called at every epoch boundary with the
 	// elected core's clock — a cheap liveness signal for long runs.
 	Progress func(cycle int64)
+	// Sampling enables SMARTS-style interval sampling (zero disables).
+	Sampling Sampling
+	// DepRingEvents overrides the streaming dependency-ring size used by
+	// SimulateStream (<= 0 picks cpu.DefaultDepRingEvents). Ignored by
+	// the materialized path.
+	DepRingEvents int
+}
+
+func (o Options) validate() error {
+	if o.EpochCycles < 0 {
+		return fmt.Errorf("sim: negative epoch granularity %d", o.EpochCycles)
+	}
+	if o.Sampling.Enabled() {
+		if err := o.Sampling.withDefaults().validate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Run simulates tr on a machine built from cfg.
@@ -120,8 +142,8 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 // step sequence, so the returned Result is identical with telemetry on
 // or off.
 func Simulate(ctx context.Context, tr *trace.Trace, cfg Config, opts Options) (*Result, error) {
-	if opts.EpochCycles < 0 {
-		return nil, fmt.Errorf("sim: negative epoch granularity %d", opts.EpochCycles)
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
 	if cfg.Cores != tr.NumCores() {
 		return nil, fmt.Errorf("sim: machine has %d cores but trace has %d streams", cfg.Cores, tr.NumCores())
@@ -138,8 +160,15 @@ func Simulate(ctx context.Context, tr *trace.Trace, cfg Config, opts Options) (*
 	for i := range cores {
 		cores[i] = cpu.NewCore(i, cfg.CPU, h, tr.PerCore[i])
 	}
+	return driveAndCollect(ctx, cfg, h, att, cores, opts)
+}
 
-	if opts.Observer == nil && opts.Progress == nil && ctx.Done() == nil {
+// driveAndCollect picks the drive loop matching opts (plain quantum,
+// observed, or sampled), runs the cores to completion, and folds the
+// machine into a Result. Options must already be validated.
+func driveAndCollect(ctx context.Context, cfg Config, h *memsys.Hierarchy, att *core.Attachment, cores []*cpu.Core, opts Options) (*Result, error) {
+	var acc *sampleAcc
+	if opts.Observer == nil && opts.Progress == nil && ctx.Done() == nil && !opts.Sampling.Enabled() {
 		driveQuantum(cores)
 	} else {
 		epoch := opts.EpochCycles
@@ -153,7 +182,7 @@ func Simulate(ctx context.Context, tr *trace.Trace, cfg Config, opts Options) (*
 			onEpoch = func(cyc int64) { obs.Epoch(cyc); prog(cyc) }
 		case opts.Observer != nil:
 			onEpoch = opts.Observer.Epoch
-		default:
+		case opts.Progress != nil:
 			onEpoch = opts.Progress
 		}
 		if opts.Observer != nil {
@@ -161,12 +190,26 @@ func Simulate(ctx context.Context, tr *trace.Trace, cfg Config, opts Options) (*
 				return nil, err
 			}
 		}
-		if err := driveObserved(ctx, cores, epoch, onEpoch); err != nil {
-			return nil, err
+		if opts.Sampling.Enabled() {
+			var err error
+			acc, err = driveSampled(ctx, cores, epoch, opts.Sampling.withDefaults(), onEpoch)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			if onEpoch == nil {
+				onEpoch = func(int64) {}
+			}
+			if err := driveObserved(ctx, cores, epoch, onEpoch); err != nil {
+				return nil, err
+			}
 		}
 	}
 
 	res := collect(cfg, h, att, cores)
+	if acc != nil {
+		res.Sampled = acc.report(res.CoreStats, res.Instructions, res.Cycles)
+	}
 	if opts.Observer != nil {
 		if err := opts.Observer.Finish(res.Cycles); err != nil {
 			return nil, err

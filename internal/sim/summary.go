@@ -35,6 +35,11 @@ type Summary struct {
 	MPPTriggers      uint64             `json:"mpp_triggers,omitempty"`
 	MPPCopiedFromLLC uint64             `json:"mpp_copied_from_llc,omitempty"`
 	MPPIssuedToDRAM  uint64             `json:"mpp_issued_to_dram,omitempty"`
+
+	// Sampled is present when the run used interval sampling; Cycles/IPC
+	// above are then raw (partially fast-forwarded) values and Sampled
+	// carries the extrapolated estimate.
+	Sampled *SampleReport `json:"sampled,omitempty"`
 }
 
 // Summarize flattens the result into a Summary.
@@ -81,5 +86,6 @@ func (r *Result) Summarize() Summary {
 		s.MPPCopiedFromLLC = st.CopiedFromLLC
 		s.MPPIssuedToDRAM = st.IssuedToDRAM
 	}
+	s.Sampled = r.Sampled
 	return s
 }

@@ -63,103 +63,64 @@ func (t *Trace) Events() int64 {
 }
 
 // Builder accumulates per-core event streams during kernel execution.
+// It is the materialized Sink implementation; the budget/instruction
+// bookkeeping lives in the shared acct so the streaming generator
+// truncates identically (see sink.go).
 type Builder struct {
-	layout  *Layout
-	cores   [][]Event
-	pending []uint16 // compute instructions awaiting the next event, per core
-	insts   int64
-	budget  int64 // max stored events; <= 0 means unlimited
-	stored  int64
-	trunc   bool
+	layout *Layout
+	cores  [][]Event
+	a      acct
 }
 
 // NewBuilder returns a builder for numCores streams with the given total
 // event budget (<= 0 for unlimited).
 func NewBuilder(layout *Layout, numCores int, budget int64) *Builder {
-	if numCores < 1 {
-		panic("trace: need at least one core")
-	}
 	return &Builder{
-		layout:  layout,
-		cores:   make([][]Event, numCores),
-		pending: make([]uint16, numCores),
-		budget:  budget,
+		layout: layout,
+		cores:  make([][]Event, numCores),
+		a:      newAcct(numCores, budget),
 	}
 }
 
 // Done reports whether the event budget has been exhausted; kernels keep
 // computing (so results stay exact) but stop emitting.
-func (b *Builder) Done() bool { return b.trunc }
+func (b *Builder) Done() bool { return b.a.trunc }
 
 // Compute dispatches n compute instructions on core c.
-func (b *Builder) Compute(c, n int) {
-	b.insts += int64(n)
-	if b.trunc {
-		return
-	}
-	if s := int(b.pending[c]) + n; s < 0xffff {
-		b.pending[c] = uint16(s)
-	} else {
-		b.pending[c] = 0xffff
-	}
-}
+func (b *Builder) Compute(c, n int) { b.a.compute(c, n) }
 
 // Load emits a load on core c and returns its index in the core's stream
 // for use as a later Dep. dep is the producer load's index or NoDep.
 // After the budget is exhausted the load is counted but not stored, and
 // NoDep is returned.
 func (b *Builder) Load(c int, addr mem.Addr, dt mem.DataType, dep int32) int32 {
-	b.insts++
-	if !b.push(c, Event{Addr: addr, Dep: dep, Comp: b.take(c), Kind: KindLoad, DType: dt}) {
+	comp, ok := b.a.event(c)
+	if !ok {
 		return NoDep
 	}
+	b.cores[c] = append(b.cores[c], Event{Addr: addr, Dep: dep, Comp: comp, Kind: KindLoad, DType: dt})
 	return int32(len(b.cores[c]) - 1)
 }
 
 // Store emits a store on core c. dep is the load producing the store
 // address, or NoDep.
 func (b *Builder) Store(c int, addr mem.Addr, dt mem.DataType, dep int32) {
-	b.insts++
-	b.push(c, Event{Addr: addr, Dep: dep, Comp: b.take(c), Kind: KindStore, DType: dt})
-}
-
-// Barrier emits a synchronization point into every core's stream. A
-// barrier is all-or-nothing: it needs one stored event per core, and if
-// that would exceed the budget it triggers truncation instead of emitting
-// — a partially-emitted barrier would deadlock the simulated cores, and
-// quietly overshooting the cap (the old behavior) made the stored-event
-// count exceed the budget by up to cores-1 events.
-func (b *Builder) Barrier() {
-	if b.trunc {
+	comp, ok := b.a.event(c)
+	if !ok {
 		return
 	}
-	if b.budget > 0 && b.stored+int64(len(b.cores)) > b.budget {
-		b.trunc = true
+	b.cores[c] = append(b.cores[c], Event{Addr: addr, Dep: dep, Comp: comp, Kind: KindStore, DType: dt})
+}
+
+// Barrier emits a synchronization point into every core's stream, or
+// truncates under the all-or-nothing budget rule (see acct.barrier).
+func (b *Builder) Barrier() {
+	if !b.a.barrier() {
 		return
 	}
 	for c := range b.cores {
-		b.cores[c] = append(b.cores[c], Event{Dep: NoDep, Comp: b.take(c), Kind: KindBarrier})
-		b.stored++
+		b.cores[c] = append(b.cores[c], Event{Dep: NoDep, Comp: b.a.take(c), Kind: KindBarrier})
 	}
-}
-
-func (b *Builder) take(c int) uint16 {
-	p := b.pending[c]
-	b.pending[c] = 0
-	return p
-}
-
-func (b *Builder) push(c int, ev Event) bool {
-	if b.trunc {
-		return false
-	}
-	if b.budget > 0 && b.stored >= b.budget {
-		b.trunc = true
-		return false
-	}
-	b.cores[c] = append(b.cores[c], ev)
-	b.stored++
-	return true
 }
 
 // Build finalizes the trace.
@@ -167,7 +128,7 @@ func (b *Builder) Build() *Trace {
 	return &Trace{
 		Layout:       b.layout,
 		PerCore:      b.cores,
-		Instructions: b.insts,
-		Truncated:    b.trunc,
+		Instructions: b.a.insts,
+		Truncated:    b.a.trunc,
 	}
 }

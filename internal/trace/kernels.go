@@ -53,21 +53,56 @@ const (
 	costUpdate = 4 // score/distance update arithmetic
 )
 
+// Each kernel is split into a layout constructor (run once, shared
+// read-only by the streaming producers) and an emit body that writes
+// through the Sink interface. The public wrappers pair an emit body with
+// the materialized Builder; the Stream constructors pair the same body
+// with the bounded-window generator, so both modes execute literally the
+// same instrumented code.
+
+// ---- PageRank ----
+
+type prLayout struct {
+	l       *Layout
+	scores  mem.Region
+	contrib mem.Region
+}
+
+func newPRLayout(tr *graph.CSR, n int) prLayout {
+	l := NewLayout(tr) // the pull kernel streams the transpose's structure
+	return prLayout{
+		l:       l,
+		scores:  l.AddVertexData("pr.scores", n),
+		contrib: l.AddProperty("pr.contrib", n),
+	}
+}
+
 // PageRank generates the trace of pull-based PageRank and returns it with
 // the exact scores (bit-identical to algo.PageRank with the same
 // parameters). tr must be g's transpose.
 func PageRank(g, tr *graph.CSR, opt Options) (*Trace, []float64) {
 	opt = opt.withDefaults()
+	lay := newPRLayout(tr, g.NumVertices())
+	b := NewBuilder(lay.l, opt.Cores, opt.MaxEvents)
+	sc := emitPageRank(b, g, tr, lay, opt)
+	return b.Build(), sc
+}
+
+// StreamPageRank returns a pull-based generator for the PageRank trace.
+func StreamPageRank(g, tr *graph.CSR, opt Options, cfg StreamConfig) *Stream {
+	opt = opt.withDefaults()
+	lay := newPRLayout(tr, g.NumVertices())
+	return newStream(lay.l, opt.Cores, opt.MaxEvents, cfg, func(b Sink) {
+		emitPageRank(b, g, tr, lay, opt)
+	})
+}
+
+func emitPageRank(b Sink, g, tr *graph.CSR, lay prLayout, opt Options) []float64 {
 	n := g.NumVertices()
-
-	l := NewLayout(tr) // the pull kernel streams the transpose's structure
-	scores := l.AddVertexData("pr.scores", n)
-	contrib := l.AddProperty("pr.contrib", n)
-	b := NewBuilder(l, opt.Cores, opt.MaxEvents)
-
+	l := lay.l
 	sc := make([]float64, n)
 	if n == 0 {
-		return b.Build(), sc
+		return sc
 	}
 	co := make([]float64, n)
 	init := 1.0 / float64(n)
@@ -83,14 +118,14 @@ func PageRank(g, tr *graph.CSR, opt Options) (*Trace, []float64) {
 			lo, hi := shard(n, opt.Cores, c)
 			for v := lo; v < hi; v++ {
 				b.Compute(c, costVertex)
-				b.Load(c, l.PropAddr(scores, uint32(v)), mem.Property, NoDep)
+				b.Load(c, l.PropAddr(lay.scores, uint32(v)), mem.Property, NoDep)
 				if d := g.Degree(uint32(v)); d > 0 {
 					co[v] = sc[v] / float64(d)
 				} else {
 					co[v] = 0
 				}
 				b.Compute(c, costUpdate)
-				b.Store(c, l.PropAddr(contrib, uint32(v)), mem.Property, NoDep)
+				b.Store(c, l.PropAddr(lay.contrib, uint32(v)), mem.Property, NoDep)
 			}
 		}
 		b.Barrier()
@@ -111,7 +146,7 @@ func PageRank(g, tr *graph.CSR, opt Options) (*Trace, []float64) {
 					}
 					sDep := b.Load(c, l.StructAddr(i), mem.Structure, dep)
 					u := tr.NeighborAt(i)
-					b.Load(c, l.PropAddr(contrib, u), mem.Property, sDep)
+					b.Load(c, l.PropAddr(lay.contrib, u), mem.Property, sDep)
 					sum += co[u]
 					b.Compute(c, costEdge)
 				}
@@ -123,7 +158,7 @@ func PageRank(g, tr *graph.CSR, opt Options) (*Trace, []float64) {
 				}
 				sc[v] = next
 				b.Compute(c, costUpdate)
-				b.Store(c, l.PropAddr(scores, uint32(v)), mem.Property, NoDep)
+				b.Store(c, l.PropAddr(lay.scores, uint32(v)), mem.Property, NoDep)
 			}
 		}
 		b.Barrier()
@@ -131,27 +166,56 @@ func PageRank(g, tr *graph.CSR, opt Options) (*Trace, []float64) {
 			break
 		}
 	}
-	return b.Build(), sc
+	return sc
+}
+
+// ---- BFS ----
+
+type bfsLayout struct {
+	l      *Layout
+	depthR mem.Region
+	frontR mem.Region
+	nextR  mem.Region
+}
+
+func newBFSLayout(g *graph.CSR, n int) bfsLayout {
+	l := NewLayout(g)
+	return bfsLayout{
+		l:      l,
+		depthR: l.AddProperty("bfs.depth", n),
+		frontR: l.AddScratch("bfs.frontier", uint64(n+1)*4),
+		nextR:  l.AddScratch("bfs.next", uint64(n+1)*4),
+	}
 }
 
 // BFS generates the trace of a level-synchronous top-down BFS and returns
 // it with the depth array (identical to algo.BFS).
 func BFS(g *graph.CSR, source uint32, opt Options) (*Trace, []int64) {
 	opt = opt.withDefaults()
+	lay := newBFSLayout(g, g.NumVertices())
+	b := NewBuilder(lay.l, opt.Cores, opt.MaxEvents)
+	depth := emitBFS(b, g, source, lay, opt)
+	return b.Build(), depth
+}
+
+// StreamBFS returns a pull-based generator for the BFS trace.
+func StreamBFS(g *graph.CSR, source uint32, opt Options, cfg StreamConfig) *Stream {
+	opt = opt.withDefaults()
+	lay := newBFSLayout(g, g.NumVertices())
+	return newStream(lay.l, opt.Cores, opt.MaxEvents, cfg, func(b Sink) {
+		emitBFS(b, g, source, lay, opt)
+	})
+}
+
+func emitBFS(b Sink, g *graph.CSR, source uint32, lay bfsLayout, opt Options) []int64 {
 	n := g.NumVertices()
-
-	l := NewLayout(g)
-	depthR := l.AddProperty("bfs.depth", n)
-	frontR := l.AddScratch("bfs.frontier", uint64(n+1)*4)
-	nextR := l.AddScratch("bfs.next", uint64(n+1)*4)
-	b := NewBuilder(l, opt.Cores, opt.MaxEvents)
-
+	l := lay.l
 	depth := make([]int64, n)
 	for i := range depth {
 		depth[i] = infDist
 	}
 	if n == 0 {
-		return b.Build(), depth
+		return depth
 	}
 	depth[source] = 0
 	frontier := []uint32{source}
@@ -161,7 +225,7 @@ func BFS(g *graph.CSR, source uint32, opt Options) (*Trace, []int64) {
 			flo, _ := shard(len(frontier), opt.Cores, c)
 			for fi, u := range chunk(frontier, opt.Cores, c) {
 				b.Compute(c, costVertex)
-				fDep := b.Load(c, frontR.Base+uint64(flo+fi)*4, mem.Intermediate, NoDep)
+				fDep := b.Load(c, lay.frontR.Base+uint64(flo+fi)*4, mem.Intermediate, NoDep)
 				offDep := b.Load(c, l.OffsetAddr(u), mem.Intermediate, fDep)
 				elo, ehi := g.EdgeRange(u)
 				for i := elo; i < ehi; i++ {
@@ -171,12 +235,12 @@ func BFS(g *graph.CSR, source uint32, opt Options) (*Trace, []int64) {
 					}
 					sDep := b.Load(c, l.StructAddr(i), mem.Structure, dep)
 					v := g.NeighborAt(i)
-					b.Load(c, l.PropAddr(depthR, v), mem.Property, sDep)
+					b.Load(c, l.PropAddr(lay.depthR, v), mem.Property, sDep)
 					b.Compute(c, costEdge)
 					if depth[v] == infDist {
 						depth[v] = level
-						b.Store(c, l.PropAddr(depthR, v), mem.Property, sDep)
-						b.Store(c, nextR.Base+uint64(len(perCoreNext[c]))*4, mem.Intermediate, NoDep)
+						b.Store(c, l.PropAddr(lay.depthR, v), mem.Property, sDep)
+						b.Store(c, lay.nextR.Base+uint64(len(perCoreNext[c]))*4, mem.Intermediate, NoDep)
 						perCoreNext[c] = append(perCoreNext[c], v)
 					}
 				}
@@ -188,10 +252,27 @@ func BFS(g *graph.CSR, source uint32, opt Options) (*Trace, []int64) {
 		}
 		b.Barrier()
 	}
-	return b.Build(), depth
+	return depth
 }
 
 const infDist = int64(1) << 62
+
+// ---- SSSP ----
+
+type ssspLayout struct {
+	l     *Layout
+	distR mem.Region
+	binR  mem.Region
+}
+
+func newSSSPLayout(g *graph.CSR, n int) ssspLayout {
+	l := NewLayout(g)
+	return ssspLayout{
+		l:     l,
+		distR: l.AddProperty("sssp.dist", n),
+		binR:  l.AddScratch("sssp.bins", uint64(n+1)*8),
+	}
+}
 
 // SSSP generates the trace of delta-stepping SSSP over a weighted graph
 // and returns it with the distance array (identical to algo.SSSP with the
@@ -201,19 +282,33 @@ func SSSP(g *graph.CSR, source uint32, delta int64, opt Options) (*Trace, []int6
 	if !g.Weighted() {
 		panic("trace: SSSP requires a weighted graph")
 	}
+	lay := newSSSPLayout(g, g.NumVertices())
+	b := NewBuilder(lay.l, opt.Cores, opt.MaxEvents)
+	dist := emitSSSP(b, g, source, delta, lay, opt)
+	return b.Build(), dist
+}
+
+// StreamSSSP returns a pull-based generator for the SSSP trace.
+func StreamSSSP(g *graph.CSR, source uint32, delta int64, opt Options, cfg StreamConfig) *Stream {
+	opt = opt.withDefaults()
+	if !g.Weighted() {
+		panic("trace: SSSP requires a weighted graph")
+	}
+	lay := newSSSPLayout(g, g.NumVertices())
+	return newStream(lay.l, opt.Cores, opt.MaxEvents, cfg, func(b Sink) {
+		emitSSSP(b, g, source, delta, lay, opt)
+	})
+}
+
+func emitSSSP(b Sink, g *graph.CSR, source uint32, delta int64, lay ssspLayout, opt Options) []int64 {
 	n := g.NumVertices()
-
-	l := NewLayout(g)
-	distR := l.AddProperty("sssp.dist", n)
-	binR := l.AddScratch("sssp.bins", uint64(n+1)*8)
-	b := NewBuilder(l, opt.Cores, opt.MaxEvents)
-
+	l := lay.l
 	dist := make([]int64, n)
 	for i := range dist {
 		dist[i] = infDist
 	}
 	if n == 0 {
-		return b.Build(), dist
+		return dist
 	}
 	if delta <= 0 {
 		var sum int64
@@ -241,8 +336,8 @@ func SSSP(g *graph.CSR, source uint32, delta int64, opt Options) (*Trace, []int6
 			for c := 0; c < opt.Cores; c++ {
 				for fi, u := range chunk(frontier, opt.Cores, c) {
 					b.Compute(c, costVertex)
-					fDep := b.Load(c, binR.Base+uint64(fi%n)*8, mem.Intermediate, NoDep)
-					dDep := b.Load(c, l.PropAddr(distR, u), mem.Property, fDep)
+					fDep := b.Load(c, lay.binR.Base+uint64(fi%n)*8, mem.Intermediate, NoDep)
+					dDep := b.Load(c, l.PropAddr(lay.distR, u), mem.Property, fDep)
 					du := dist[u]
 					if du/delta != bin {
 						continue
@@ -261,14 +356,14 @@ func SSSP(g *graph.CSR, source uint32, delta int64, opt Options) (*Trace, []int6
 						sDep := b.Load(c, l.StructAddr(i), mem.Structure, dep)
 						j := i - elo
 						v := nbs[j]
-						b.Load(c, l.PropAddr(distR, v), mem.Property, sDep)
+						b.Load(c, l.PropAddr(lay.distR, v), mem.Property, sDep)
 						b.Compute(c, costEdge)
 						nd := du + int64(ws[j])
 						if nd < dist[v] {
 							dist[v] = nd
 							b.Compute(c, costUpdate)
-							b.Store(c, l.PropAddr(distR, v), mem.Property, sDep)
-							b.Store(c, binR.Base+uint64(v%uint32(n))*8, mem.Intermediate, NoDep)
+							b.Store(c, l.PropAddr(lay.distR, v), mem.Property, sDep)
+							b.Store(c, lay.binR.Base+uint64(v%uint32(n))*8, mem.Intermediate, NoDep)
 							target := nd / delta
 							if target == bin {
 								perCoreRetained[c] = append(perCoreRetained[c], v)
@@ -286,19 +381,43 @@ func SSSP(g *graph.CSR, source uint32, delta int64, opt Options) (*Trace, []int6
 			b.Barrier()
 		}
 	}
-	return b.Build(), dist
+	return dist
+}
+
+// ---- CC ----
+
+type ccLayout struct {
+	l     *Layout
+	compR mem.Region
+}
+
+func newCCLayout(g *graph.CSR, n int) ccLayout {
+	l := NewLayout(g)
+	return ccLayout{l: l, compR: l.AddProperty("cc.comp", n)}
 }
 
 // CC generates the trace of Shiloach–Vishkin connected components and
 // returns it with the component labels (identical to algo.CC).
 func CC(g *graph.CSR, opt Options) (*Trace, []uint32) {
 	opt = opt.withDefaults()
+	lay := newCCLayout(g, g.NumVertices())
+	b := NewBuilder(lay.l, opt.Cores, opt.MaxEvents)
+	comp := emitCC(b, g, lay, opt)
+	return b.Build(), comp
+}
+
+// StreamCC returns a pull-based generator for the CC trace.
+func StreamCC(g *graph.CSR, opt Options, cfg StreamConfig) *Stream {
+	opt = opt.withDefaults()
+	lay := newCCLayout(g, g.NumVertices())
+	return newStream(lay.l, opt.Cores, opt.MaxEvents, cfg, func(b Sink) {
+		emitCC(b, g, lay, opt)
+	})
+}
+
+func emitCC(b Sink, g *graph.CSR, lay ccLayout, opt Options) []uint32 {
 	n := g.NumVertices()
-
-	l := NewLayout(g)
-	compR := l.AddProperty("cc.comp", n)
-	b := NewBuilder(l, opt.Cores, opt.MaxEvents)
-
+	l := lay.l
 	comp := make([]uint32, n)
 	for i := range comp {
 		comp[i] = uint32(i)
@@ -310,7 +429,7 @@ func CC(g *graph.CSR, opt Options) (*Trace, []uint32) {
 			lo, hi := shard(n, opt.Cores, c)
 			for u := lo; u < hi; u++ {
 				b.Compute(c, costVertex)
-				uDep := b.Load(c, l.PropAddr(compR, uint32(u)), mem.Property, NoDep)
+				uDep := b.Load(c, l.PropAddr(lay.compR, uint32(u)), mem.Property, NoDep)
 				offDep := b.Load(c, l.OffsetAddr(uint32(u)), mem.Intermediate, NoDep)
 				cu := comp[u]
 				elo, ehi := g.EdgeRange(uint32(u))
@@ -321,18 +440,18 @@ func CC(g *graph.CSR, opt Options) (*Trace, []uint32) {
 					}
 					sDep := b.Load(c, l.StructAddr(i), mem.Structure, dep)
 					v := g.NeighborAt(i)
-					vDep := b.Load(c, l.PropAddr(compR, v), mem.Property, sDep)
+					vDep := b.Load(c, l.PropAddr(lay.compR, v), mem.Property, sDep)
 					b.Compute(c, costEdge)
 					cv := comp[v]
 					if cv < cu {
 						// Hook the representative: a property load feeds
 						// the store address (property as producer).
-						b.Store(c, l.PropAddr(compR, cu), mem.Property, uDep)
+						b.Store(c, l.PropAddr(lay.compR, cu), mem.Property, uDep)
 						comp[cu] = cv
 						cu = cv
 						changed = true
 					} else if cu < cv {
-						b.Store(c, l.PropAddr(compR, cv), mem.Property, vDep)
+						b.Store(c, l.PropAddr(lay.compR, cv), mem.Property, vDep)
 						comp[cv] = cu
 						changed = true
 					}
@@ -345,38 +464,69 @@ func CC(g *graph.CSR, opt Options) (*Trace, []uint32) {
 			lo, hi := shard(n, opt.Cores, c)
 			for v := lo; v < hi; v++ {
 				b.Compute(c, costVertex)
-				dep := b.Load(c, l.PropAddr(compR, uint32(v)), mem.Property, NoDep)
+				dep := b.Load(c, l.PropAddr(lay.compR, uint32(v)), mem.Property, NoDep)
 				for comp[v] != comp[comp[v]] {
-					dep = b.Load(c, l.PropAddr(compR, comp[v]), mem.Property, dep)
+					dep = b.Load(c, l.PropAddr(lay.compR, comp[v]), mem.Property, dep)
 					comp[v] = comp[comp[v]]
-					b.Store(c, l.PropAddr(compR, uint32(v)), mem.Property, NoDep)
+					b.Store(c, l.PropAddr(lay.compR, uint32(v)), mem.Property, NoDep)
 				}
 				// The convergence check reads one level deeper.
-				b.Load(c, l.PropAddr(compR, comp[v]), mem.Property, dep)
+				b.Load(c, l.PropAddr(lay.compR, comp[v]), mem.Property, dep)
 			}
 		}
 		b.Barrier()
 	}
-	return b.Build(), comp
+	return comp
+}
+
+// ---- BC ----
+
+type bcLayout struct {
+	l      *Layout
+	depthR mem.Region
+	sigmaR mem.Region
+	deltaR mem.Region
+	bcR    mem.Region
+	orderR mem.Region
+}
+
+func newBCLayout(g *graph.CSR, n int) bcLayout {
+	l := NewLayout(g)
+	return bcLayout{
+		l:      l,
+		depthR: l.AddProperty("bc.depth", n),
+		sigmaR: l.AddProperty("bc.sigma", n),
+		deltaR: l.AddProperty("bc.delta", n),
+		bcR:    l.AddVertexData("bc.scores", n),
+		orderR: l.AddScratch("bc.order", uint64(n+1)*4),
+	}
 }
 
 // BC generates the trace of Brandes betweenness centrality from the given
 // sources and returns it with the centrality array (identical to algo.BC).
 func BC(g *graph.CSR, sources []uint32, opt Options) (*Trace, []float64) {
 	opt = opt.withDefaults()
+	lay := newBCLayout(g, g.NumVertices())
+	b := NewBuilder(lay.l, opt.Cores, opt.MaxEvents)
+	bc := emitBC(b, g, sources, lay, opt)
+	return b.Build(), bc
+}
+
+// StreamBC returns a pull-based generator for the BC trace.
+func StreamBC(g *graph.CSR, sources []uint32, opt Options, cfg StreamConfig) *Stream {
+	opt = opt.withDefaults()
+	lay := newBCLayout(g, g.NumVertices())
+	return newStream(lay.l, opt.Cores, opt.MaxEvents, cfg, func(b Sink) {
+		emitBC(b, g, sources, lay, opt)
+	})
+}
+
+func emitBC(b Sink, g *graph.CSR, sources []uint32, lay bcLayout, opt Options) []float64 {
 	n := g.NumVertices()
-
-	l := NewLayout(g)
-	depthR := l.AddProperty("bc.depth", n)
-	sigmaR := l.AddProperty("bc.sigma", n)
-	deltaR := l.AddProperty("bc.delta", n)
-	bcR := l.AddVertexData("bc.scores", n)
-	orderR := l.AddScratch("bc.order", uint64(n+1)*4)
-	b := NewBuilder(l, opt.Cores, opt.MaxEvents)
-
+	l := lay.l
 	bc := make([]float64, n)
 	if n == 0 {
-		return b.Build(), bc
+		return bc
 	}
 	depth := make([]int64, n)
 	sigma := make([]float64, n)
@@ -400,9 +550,9 @@ func BC(g *graph.CSR, sources []uint32, opt Options) (*Trace, []float64) {
 				for _, u := range chunk(frontier, opt.Cores, c) {
 					order = append(order, u)
 					b.Compute(c, costVertex)
-					b.Store(c, orderR.Base+uint64(len(order)-1)*4, mem.Intermediate, NoDep)
+					b.Store(c, lay.orderR.Base+uint64(len(order)-1)*4, mem.Intermediate, NoDep)
 					offDep := b.Load(c, l.OffsetAddr(u), mem.Intermediate, NoDep)
-					sigDep := b.Load(c, l.PropAddr(sigmaR, u), mem.Property, NoDep)
+					sigDep := b.Load(c, l.PropAddr(lay.sigmaR, u), mem.Property, NoDep)
 					_ = sigDep
 					elo, ehi := g.EdgeRange(u)
 					for i := elo; i < ehi; i++ {
@@ -412,17 +562,17 @@ func BC(g *graph.CSR, sources []uint32, opt Options) (*Trace, []float64) {
 						}
 						sDep := b.Load(c, l.StructAddr(i), mem.Structure, dep)
 						v := g.NeighborAt(i)
-						b.Load(c, l.PropAddr(depthR, v), mem.Property, sDep)
+						b.Load(c, l.PropAddr(lay.depthR, v), mem.Property, sDep)
 						b.Compute(c, costEdge)
 						if depth[v] < 0 {
 							depth[v] = depth[u] + 1
-							b.Store(c, l.PropAddr(depthR, v), mem.Property, sDep)
+							b.Store(c, l.PropAddr(lay.depthR, v), mem.Property, sDep)
 							next = append(next, v)
 						}
 						if depth[v] == depth[u]+1 {
-							b.Load(c, l.PropAddr(sigmaR, v), mem.Property, sDep)
+							b.Load(c, l.PropAddr(lay.sigmaR, v), mem.Property, sDep)
 							sigma[v] += sigma[u]
-							b.Store(c, l.PropAddr(sigmaR, v), mem.Property, sDep)
+							b.Store(c, l.PropAddr(lay.sigmaR, v), mem.Property, sDep)
 						}
 					}
 				}
@@ -435,7 +585,7 @@ func BC(g *graph.CSR, sources []uint32, opt Options) (*Trace, []float64) {
 			c := (len(order) - 1 - i) % opt.Cores // round-robin the reverse walk
 			u := order[i]
 			b.Compute(c, costVertex)
-			oDep := b.Load(c, orderR.Base+uint64(i)*4, mem.Intermediate, NoDep)
+			oDep := b.Load(c, lay.orderR.Base+uint64(i)*4, mem.Intermediate, NoDep)
 			offDep := b.Load(c, l.OffsetAddr(u), mem.Intermediate, oDep)
 			elo, ehi := g.EdgeRange(u)
 			for j := elo; j < ehi; j++ {
@@ -445,23 +595,23 @@ func BC(g *graph.CSR, sources []uint32, opt Options) (*Trace, []float64) {
 				}
 				sDep := b.Load(c, l.StructAddr(j), mem.Structure, dep)
 				v := g.NeighborAt(j)
-				b.Load(c, l.PropAddr(depthR, v), mem.Property, sDep)
+				b.Load(c, l.PropAddr(lay.depthR, v), mem.Property, sDep)
 				b.Compute(c, costEdge)
 				if depth[v] == depth[u]+1 && sigma[v] > 0 {
-					b.Load(c, l.PropAddr(sigmaR, v), mem.Property, sDep)
-					b.Load(c, l.PropAddr(deltaR, v), mem.Property, sDep)
+					b.Load(c, l.PropAddr(lay.sigmaR, v), mem.Property, sDep)
+					b.Load(c, l.PropAddr(lay.deltaR, v), mem.Property, sDep)
 					deltaAcc[u] += sigma[u] / sigma[v] * (1 + deltaAcc[v])
 					b.Compute(c, costUpdate)
 				}
 			}
-			b.Store(c, l.PropAddr(deltaR, u), mem.Property, NoDep)
+			b.Store(c, l.PropAddr(lay.deltaR, u), mem.Property, NoDep)
 			if u != s {
-				b.Load(c, l.PropAddr(bcR, u), mem.Property, NoDep)
+				b.Load(c, l.PropAddr(lay.bcR, u), mem.Property, NoDep)
 				bc[u] += deltaAcc[u]
-				b.Store(c, l.PropAddr(bcR, u), mem.Property, NoDep)
+				b.Store(c, l.PropAddr(lay.bcR, u), mem.Property, NoDep)
 			}
 		}
 		b.Barrier()
 	}
-	return b.Build(), bc
+	return bc
 }

@@ -70,30 +70,42 @@ func (a Algorithm) Description() string {
 func (a Algorithm) Weighted() bool { return a == SSSP }
 
 // Scale selects workload sizing. Quick keeps test/bench runtime low;
-// Full is the experiment harness default. Both preserve the paper's
-// footprint-to-capacity ratios against the matching Machine config.
+// Full is the experiment harness default; Huge is the streaming-only
+// paper-scale tier whose materialized trace would not fit the CI memory
+// ceiling. Quick and Full preserve the paper's footprint-to-capacity
+// ratios against the matching Machine config; Huge runs against the
+// unscaled Table I machine.
 type Scale int
 
 // Workload scales.
 const (
 	Quick Scale = iota
 	Full
+	Huge
 )
 
 // String implements fmt.Stringer.
 func (s Scale) String() string {
-	if s == Full {
+	switch s {
+	case Full:
 		return "full"
+	case Huge:
+		return "huge"
+	default:
+		return "quick"
 	}
-	return "quick"
 }
 
 // MaxEvents returns the trace budget (the simulated ROI) for the scale.
 func (s Scale) MaxEvents() int64 {
-	if s == Full {
+	switch s {
+	case Full:
 		return 12_000_000
+	case Huge:
+		return 60_000_000
+	default:
+		return 1_200_000
 	}
-	return 1_200_000
 }
 
 // Dataset is one Table III graph proxy.
@@ -116,8 +128,11 @@ var Datasets = []Dataset{
 		Paper: "16.8M vertices, 260M edges",
 		Build: func(sc Scale, weighted bool) (*graph.CSR, error) {
 			scale := 14
-			if sc == Full {
+			switch sc {
+			case Full:
 				scale = 17
+			case Huge:
+				scale = 21
 			}
 			return graph.Kron(scale, 16, graph.GenOptions{Seed: xk(1), Weighted: weighted, Symmetrize: true})
 		},
@@ -128,8 +143,11 @@ var Datasets = []Dataset{
 		Paper: "8.4M vertices, 134M edges",
 		Build: func(sc Scale, weighted bool) (*graph.CSR, error) {
 			scale := 14
-			if sc == Full {
+			switch sc {
+			case Full:
 				scale = 17
+			case Huge:
+				scale = 21
 			}
 			return graph.Uniform(scale, 16, graph.GenOptions{Seed: xk(2), Weighted: weighted, Symmetrize: true})
 		},
@@ -140,8 +158,11 @@ var Datasets = []Dataset{
 		Paper: "3M vertices, 117M edges",
 		Build: func(sc Scale, weighted bool) (*graph.CSR, error) {
 			scale := 13
-			if sc == Full {
+			switch sc {
+			case Full:
 				scale = 16
+			case Huge:
+				scale = 20
 			}
 			return graph.SocialNetwork(scale, 32, graph.GenOptions{Seed: xk(3), Weighted: weighted, Symmetrize: true})
 		},
@@ -152,8 +173,11 @@ var Datasets = []Dataset{
 		Paper: "4.8M vertices, 68.5M edges",
 		Build: func(sc Scale, weighted bool) (*graph.CSR, error) {
 			scale := 14
-			if sc == Full {
+			switch sc {
+			case Full:
 				scale = 17
+			case Huge:
+				scale = 21
 			}
 			return graph.SocialNetwork(scale, 14, graph.GenOptions{Seed: xk(4), Weighted: weighted, Symmetrize: true})
 		},
@@ -164,8 +188,11 @@ var Datasets = []Dataset{
 		Paper: "23.9M vertices, 57.7M edges",
 		Build: func(sc Scale, weighted bool) (*graph.CSR, error) {
 			side := 128
-			if sc == Full {
+			switch sc {
+			case Full:
 				side = 360
+			case Huge:
+				side = 1440
 			}
 			return graph.Grid(side, side, graph.GenOptions{Seed: xk(5), Weighted: weighted})
 		},
@@ -285,18 +312,38 @@ func transposeOf(g *graph.CSR) *graph.CSR {
 	return e.g
 }
 
-// GenerateTrace builds the multi-core memory trace for benchmark b at the
-// given scale. Cores defaults to 4 when zero.
-func GenerateTrace(b Benchmark, sc Scale, cores int) (*trace.Trace, error) {
+// traceInputs resolves the shared inputs of GenerateTrace and
+// GenerateStream: the (cached) graph, the kernel options, and the BFS/
+// SSSP/BC source selection.
+func traceInputs(b Benchmark, sc Scale, cores int) (*graph.CSR, trace.Options, uint32, error) {
 	if cores == 0 {
 		cores = 4
 	}
 	g, err := Graph(b.Dataset, sc, b.Algo.Weighted())
 	if err != nil {
-		return nil, err
+		return nil, trace.Options{}, 0, err
 	}
 	opt := trace.Options{Cores: cores, MaxEvents: sc.MaxEvents(), PRIters: 2}
-	src := graph.LargestComponentSource(g)
+	return g, opt, graph.LargestComponentSource(g), nil
+}
+
+// bcSources picks the BC source set (the primary source plus a mid-range
+// second root on non-trivial graphs).
+func bcSources(g *graph.CSR, src uint32) []uint32 {
+	sources := []uint32{src}
+	if n := g.NumVertices(); n > 1 {
+		sources = append(sources, uint32(n/2))
+	}
+	return sources
+}
+
+// GenerateTrace builds the multi-core memory trace for benchmark b at the
+// given scale. Cores defaults to 4 when zero.
+func GenerateTrace(b Benchmark, sc Scale, cores int) (*trace.Trace, error) {
+	g, opt, src, err := traceInputs(b, sc, cores)
+	if err != nil {
+		return nil, err
+	}
 	switch b.Algo {
 	case PR:
 		tr, _ := trace.PageRank(g, transposeOf(g), opt)
@@ -311,12 +358,33 @@ func GenerateTrace(b Benchmark, sc Scale, cores int) (*trace.Trace, error) {
 		tr, _ := trace.CC(g, opt)
 		return tr, nil
 	case BC:
-		sources := []uint32{src}
-		if n := g.NumVertices(); n > 1 {
-			sources = append(sources, uint32(n/2))
-		}
-		tr, _ := trace.BC(g, sources, opt)
+		tr, _ := trace.BC(g, bcSources(g, src), opt)
 		return tr, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown algorithm %v", b.Algo)
+	}
+}
+
+// GenerateStream builds the pull-based trace generator for benchmark b at
+// the given scale — the same kernel, graph, and options as GenerateTrace,
+// emitted through the bounded per-core window instead of materialized.
+// Cores defaults to 4 when zero; cfg zero-values pick the default window.
+func GenerateStream(b Benchmark, sc Scale, cores int, cfg trace.StreamConfig) (*trace.Stream, error) {
+	g, opt, src, err := traceInputs(b, sc, cores)
+	if err != nil {
+		return nil, err
+	}
+	switch b.Algo {
+	case PR:
+		return trace.StreamPageRank(g, transposeOf(g), opt, cfg), nil
+	case BFS:
+		return trace.StreamBFS(g, src, opt, cfg), nil
+	case SSSP:
+		return trace.StreamSSSP(g, src, 0, opt, cfg), nil
+	case CC:
+		return trace.StreamCC(g, opt, cfg), nil
+	case BC:
+		return trace.StreamBC(g, bcSources(g, src), opt, cfg), nil
 	default:
 		return nil, fmt.Errorf("workload: unknown algorithm %v", b.Algo)
 	}
