@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"droplet/internal/cache"
 	"droplet/internal/exp"
 	"droplet/internal/workload"
 )
@@ -28,6 +29,7 @@ func main() {
 		verbose  = flag.Bool("v", false, "print per-simulation progress")
 		telemDir = flag.String("telemetry-dir", "", "stream per-simulation epoch JSONL telemetry into this directory")
 		epochCyc = flag.Int64("epoch", 0, "telemetry epoch granularity in cycles (0 = default)")
+		repl     = flag.String("replacement", "lru", "LLC replacement policy for the baseline machine: lru, random, srrip, brrip, drrip, ship")
 	)
 	flag.Parse()
 
@@ -51,8 +53,15 @@ func main() {
 		os.Exit(1)
 	}
 
+	pol, err := cache.ParseReplacement(*repl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "droplet-exp:", err)
+		os.Exit(1)
+	}
+
 	s := exp.NewSuite(sc)
 	s.Jobs = *jobs
+	s.Replacement = pol
 	if *telemDir != "" {
 		if err := os.MkdirAll(*telemDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "droplet-exp:", err)

@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"droplet/internal/cache"
 	"droplet/internal/core"
 	"droplet/internal/exp"
 	"droplet/internal/graph"
@@ -44,6 +45,7 @@ import (
 // runFlags bundles the single-run command line.
 type runFlags struct {
 	algo, dataset, pf, scale     string
+	replacement                  string
 	cores, llcKB                 int
 	graphEL                      string
 	asJSON, stream               bool
@@ -61,6 +63,7 @@ func main() {
 	flag.StringVar(&rf.dataset, "dataset", "kron", "dataset: kron, urand, orkut, livejournal, road")
 	flag.StringVar(&rf.pf, "prefetcher", "droplet", "prefetcher: nopf, ghb, vldp, stream, streamMPP1, droplet, monoDROPLETL1")
 	flag.StringVar(&rf.scale, "scale", "quick", "workload scale: quick, full, or huge (huge requires -stream)")
+	flag.StringVar(&rf.replacement, "replacement", "lru", "LLC replacement policy: lru, random, srrip, brrip, drrip, ship")
 	flag.IntVar(&rf.cores, "cores", 4, "number of simulated cores")
 	flag.IntVar(&rf.llcKB, "llc", 0, "override LLC size in KB (0 = scale default)")
 	flag.StringVar(&rf.graphEL, "graphfile", "", "run on a custom edge-list graph instead of a registered dataset")
@@ -117,7 +120,7 @@ func main() {
 	if *matrix != "" {
 		sample, err := parseSampling(rf)
 		if err == nil {
-			err = runMatrix(*matrix, *benchmarks, rf.scale, *jobs, *verbose, *outPath, *telemDir, rf.epochCyc, sample)
+			err = runMatrix(*matrix, *benchmarks, rf.scale, rf.replacement, *jobs, *verbose, *outPath, *telemDir, rf.epochCyc, sample)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dropletsim:", err)
@@ -167,8 +170,12 @@ func parseSampling(rf runFlags) (sim.Sampling, error) {
 // of the suite cache in table order no matter how the scheduler
 // interleaved the simulations, so -jobs N output diffs clean against
 // -jobs 1 (the CI smoke job relies on this), with or without sampling.
-func runMatrix(ids, benchList, scaleName string, jobs int, verbose bool, outPath, telemDir string, epochCyc int64, sample sim.Sampling) error {
+func runMatrix(ids, benchList, scaleName, replacement string, jobs int, verbose bool, outPath, telemDir string, epochCyc int64, sample sim.Sampling) error {
 	sc, err := parseScale(scaleName)
+	if err != nil {
+		return err
+	}
+	pol, err := cache.ParseReplacement(replacement)
 	if err != nil {
 		return err
 	}
@@ -176,6 +183,7 @@ func runMatrix(ids, benchList, scaleName string, jobs int, verbose bool, outPath
 	s.Jobs = jobs
 	s.Sample = sample
 	s.EpochCycles = epochCyc
+	s.Replacement = pol
 	if telemDir != "" {
 		if err := os.MkdirAll(telemDir, 0o755); err != nil {
 			return err
@@ -266,6 +274,11 @@ func run(rf runFlags) error {
 	cfg := exp.Machine(sc)
 	cfg.Cores = rf.cores
 	cfg.Prefetcher = kind
+	pol, err := cache.ParseReplacement(rf.replacement)
+	if err != nil {
+		return err
+	}
+	cfg.LLC.Policy = pol
 	if rf.llcKB > 0 {
 		cfg.LLC.SizeBytes = rf.llcKB << 10
 	}

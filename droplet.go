@@ -44,6 +44,7 @@ import (
 	"io"
 
 	"droplet/internal/algo"
+	"droplet/internal/cache"
 	"droplet/internal/core"
 	"droplet/internal/graph"
 	"droplet/internal/mem"
@@ -328,6 +329,32 @@ var Prefetchers = core.AllKinds
 // ParsePrefetcher resolves a configuration name ("droplet", "stream", …).
 func ParsePrefetcher(s string) (Prefetcher, error) { return core.ParseKind(s) }
 
+// Replacement selects a cache replacement policy. Set it per level on
+// MachineConfig (cfg.LLC.Policy = droplet.ReplacementDRRIP) or sweep the
+// LLC — the lever graph workloads are most sensitive to (Jamet et al.) —
+// per run with WithReplacement.
+type Replacement = cache.Kind
+
+// The implemented replacement policies. LRU is the default; Random draws
+// from a per-cache deterministic splitmix64 stream; SRRIP/BRRIP/DRRIP are
+// the 2-bit RRIP family with set-dueling; SHiP predicts insert depth from
+// per-line signatures.
+const (
+	ReplacementLRU    = cache.KindLRU
+	ReplacementRandom = cache.KindRandom
+	ReplacementSRRIP  = cache.KindSRRIP
+	ReplacementBRRIP  = cache.KindBRRIP
+	ReplacementDRRIP  = cache.KindDRRIP
+	ReplacementSHiP   = cache.KindSHiP
+)
+
+// Replacements lists every policy in canonical order.
+func Replacements() []Replacement { return cache.AllKinds() }
+
+// ParseReplacement resolves a policy name ("lru", "random", "srrip",
+// "brrip", "drrip", "ship"); the error lists the valid names.
+func ParseReplacement(s string) (Replacement, error) { return cache.ParseReplacement(s) }
+
 // PaperMachine returns the paper's Table I baseline (32KB L1 / 256KB L2 /
 // 8MB LLC). Pair it with paper-sized graphs; for laptop-scale runs use
 // ExperimentMachine.
@@ -440,6 +467,13 @@ func ParseWarming(s string) (Warming, error) { return sim.ParseWarming(s) }
 // Result.Sampled carries the extrapolated estimate.
 func WithSampling(s Sampling) Option {
 	return func(o *sim.Options) { o.Sampling = s }
+}
+
+// WithReplacement overrides the LLC replacement policy for one run,
+// leaving the MachineConfig untouched (private L1/L2 policies are set
+// directly on the config's cache levels).
+func WithReplacement(k Replacement) Option {
+	return func(o *sim.Options) { o.Replacement = &k }
 }
 
 // WithDepRingEvents overrides the streaming dependency-ring capacity

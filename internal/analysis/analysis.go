@@ -27,6 +27,9 @@ import (
 var simPackages = []string{
 	"droplet/internal/sim",
 	"droplet/internal/cpu",
+	// cache includes the whole replacement-policy family (policy.go):
+	// LRU, seeded Random, SRRIP/BRRIP/DRRIP, and SHiP all fall under the
+	// determinism and hot-path allocation analyzers through this entry.
 	"droplet/internal/cache",
 	"droplet/internal/core",
 	"droplet/internal/dram",

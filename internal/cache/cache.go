@@ -1,7 +1,9 @@
-// Package cache implements the set-associative, write-back, LRU caches of
+// Package cache implements the set-associative, write-back caches of
 // the simulated memory hierarchy (Table I: private L1D and L2, shared
 // inclusive L3), with per-data-type statistics and support for in-flight
-// fills so prefetch timeliness can be modeled.
+// fills so prefetch timeliness can be modeled. Replacement is pluggable
+// at configuration time (LRU by default; see Kind) with every policy's
+// bookkeeping kept off the heap and behind direct calls.
 package cache
 
 import (
@@ -22,6 +24,12 @@ type Config struct {
 	// latency).
 	LatencyTag  int
 	LatencyData int
+	// Policy selects the replacement policy; the zero value is LRU.
+	Policy Kind
+	// Seed seeds the cache's private splitmix64 stream (KindRandom).
+	// Hierarchies salt it per cache instance via SaltSeed so sibling
+	// caches draw independent victim streams.
+	Seed uint64
 }
 
 // Validate reports configuration errors.
@@ -36,6 +44,9 @@ func (c Config) Validate() error {
 	sets := lines / c.Assoc
 	if sets&(sets-1) != 0 {
 		return fmt.Errorf("cache %s: %d sets not a power of two", c.Name, sets)
+	}
+	if c.Policy >= numKinds {
+		return fmt.Errorf("cache %s: unknown replacement policy %d", c.Name, c.Policy)
 	}
 	return nil
 }
@@ -164,10 +175,25 @@ type Cache struct {
 	// that could alter victim choice or create a merge candidate — a
 	// fill, a hit (LRU bump), an invalidation, a promotion — resets
 	// missLA to noTag, forcing the next Fill back to the full scan.
+	// The memo is an LRU-only optimization: non-LRU kinds never set it
+	// (their victim selection has aging side effects that must run exactly
+	// once, in Fill), so missLA stays noTag and Fill always rescans.
 	missLA     uint64
 	missIdx    int    // flat way index of the chosen victim
 	missOldest uint64 // the victim's LRU stamp; 0 means it was an invalid way
-	stats      Stats
+
+	// Replacement-policy state (see policy.go). kind routes the per-access
+	// policy hooks through small switches of direct calls; the state
+	// arrays are preallocated per kind in New, so no policy allocates on
+	// the demand path.
+	kind  Kind
+	rng   uint64          // splitmix64 state (KindRandom)
+	rrpv  []uint8         // per-way 2-bit re-reference prediction value (RRIP family, SHiP)
+	sigs  []uint8         // per-way SHiP signature (low 6 bits) + outcome bit (0x80)
+	shct  [shctSize]uint8 // SHiP signature history counters
+	psel  int16           // DRRIP set-duel selector
+	bip   uint8           // BRRIP bimodal insert counter
+	stats Stats
 }
 
 // New builds a cache from cfg, panicking on invalid geometry (a
@@ -182,7 +208,7 @@ func New(cfg Config) *Cache {
 	for i := range tags {
 		tags[i] = noTag
 	}
-	return &Cache{
+	c := &Cache{
 		cfg:     cfg,
 		setMask: uint64(numSets - 1),
 		assoc:   cfg.Assoc,
@@ -191,7 +217,17 @@ func New(cfg Config) *Cache {
 		meta:    make([]meta, lines),
 		mru:     make([]uint16, numSets),
 		missLA:  noTag,
+		kind:    cfg.Policy,
+		rng:     cfg.Seed,
 	}
+	switch c.kind {
+	case KindSRRIP, KindBRRIP, KindDRRIP:
+		c.rrpv = make([]uint8, lines)
+	case KindSHiP:
+		c.rrpv = make([]uint8, lines)
+		c.sigs = make([]uint8, lines)
+	}
+	return c
 }
 
 // Config returns the cache's configuration.
@@ -222,6 +258,7 @@ func (c *Cache) Lookup(addr mem.Addr) (readyAt int64, ok bool) {
 // ok=true and readyAt, the time the data can be forwarded (>= now; later
 // than now only when the line is still in flight). LRU and all stats are
 // updated; a write marks the line dirty.
+//
 //droplet:hotpath
 func (c *Cache) Access(addr mem.Addr, dtype mem.DataType, write bool, now int64) (readyAt int64, ok bool) {
 	la := addr >> mem.LineShift
@@ -232,6 +269,9 @@ func (c *Cache) Access(addr mem.Addr, dtype mem.DataType, write bool, now int64)
 	// Probe the MRU-hinted way first; fall back to the associative scan.
 	if w := int(c.mru[si]); tags[w] == uint64(la) {
 		return c.hit(base+w, dtype, write, now), true
+	}
+	if c.kind != KindLRU {
+		return c.accessPolicy(uint64(la), si, base, dtype, write, now)
 	}
 	// The miss scan doubles as the victim selection for the Fill that
 	// follows (same tie-breaks as Fill's own scan: last invalid way wins,
@@ -261,11 +301,28 @@ func (c *Cache) Access(addr mem.Addr, dtype mem.DataType, write bool, now int64)
 	return 0, false
 }
 
-// hit applies the stats, LRU, and dirty-bit effects of a demand hit on
-// the line at flat way index idx and returns the forwarding time.
+// accessPolicy is the non-LRU tail of Access after the MRU probe missed:
+// a plain hit scan, with no victim memoization — non-LRU victim selection
+// has aging side effects, so it runs exactly once, in Fill.
+//
+//droplet:hotpath
+func (c *Cache) accessPolicy(la, si uint64, base int, dtype mem.DataType, write bool, now int64) (readyAt int64, ok bool) {
+	tags := c.tags[base : base+c.assoc]
+	for i, t := range tags {
+		if t == la {
+			c.mru[si] = uint16(i)
+			return c.hit(base+i, dtype, write, now), true
+		}
+	}
+	c.stats.DemandMisses[dtype]++
+	return 0, false
+}
+
+// hit applies the stats, recency, and dirty-bit effects of a demand hit
+// on the line at flat way index idx and returns the forwarding time.
 func (c *Cache) hit(idx int, dtype mem.DataType, write bool, now int64) int64 {
 	m := &c.meta[idx]
-	c.missLA = noTag // the LRU bump below could change a memoized victim
+	c.missLA = noTag // the recency bump below could change a memoized victim
 	c.stats.DemandHits[dtype]++
 	if m.flags&flagPrefetched != 0 {
 		c.stats.PrefetchHits[m.dtype]++
@@ -274,8 +331,12 @@ func (c *Cache) hit(idx int, dtype mem.DataType, write bool, now int64) int64 {
 	if write {
 		m.flags |= flagDirty
 	}
-	c.tick++
-	c.lrus[idx] = c.tick
+	if c.kind == KindLRU {
+		c.tick++
+		c.lrus[idx] = c.tick
+	} else {
+		c.touchWay(idx)
+	}
 	r := m.ready
 	if r < now {
 		r = now
@@ -288,6 +349,7 @@ func (c *Cache) hit(idx int, dtype mem.DataType, write bool, now int64) int64 {
 // The returned victim is valid when a line was displaced; inclusive
 // hierarchies must back-invalidate it upstream and write it back
 // downstream when dirty.
+//
 //droplet:hotpath
 func (c *Cache) Fill(addr mem.Addr, dtype mem.DataType, readyAt int64, prefetch bool) Victim {
 	la := addr >> mem.LineShift
@@ -303,9 +365,27 @@ func (c *Cache) Fill(addr mem.Addr, dtype mem.DataType, readyAt int64, prefetch 
 		// The Access miss for this line already chose the victim and the
 		// set provably hasn't changed since (any mutation resets missLA),
 		// so the merge check (the line is still absent) and the victim
-		// scan are both settled.
+		// scan are both settled. (LRU only: other kinds never set the
+		// memo.)
 		victimIdx = c.missIdx
 		oldest = c.missOldest
+	} else if c.kind != KindLRU {
+		tags := c.tags[base : base+c.assoc]
+		for i, t := range tags {
+			if t == uint64(la) {
+				// Refill of a resident line: same merge semantics as the
+				// LRU scan below.
+				m := &c.meta[base+i]
+				if readyAt < m.ready {
+					m.ready = readyAt
+				}
+				if !prefetch {
+					m.flags &^= flagPrefetched
+				}
+				return Victim{}
+			}
+		}
+		victimIdx, oldest = c.victimWay(base)
 	} else {
 		tags := c.tags[base : base+c.assoc]
 		lrus := c.lrus[base : base+c.assoc][:len(tags)] // bounds-check hint
@@ -355,7 +435,13 @@ func (c *Cache) Fill(addr mem.Addr, dtype mem.DataType, readyAt int64, prefetch 
 		if v.Prefetched {
 			c.stats.PrefetchEvictedUnused[v.DType]++
 		}
+		if c.kind == KindSHiP {
+			c.evictTrain(victimIdx)
+		}
 	}
+	// The tick/lrus stamp is maintained for every kind: non-LRU policies
+	// never read it, but the "valid stamps are >= 1" invariant backs the
+	// oldest != 0 victim-validity convention above.
 	c.tick++
 	c.tags[victimIdx] = uint64(la)
 	c.lrus[victimIdx] = c.tick
@@ -364,6 +450,9 @@ func (c *Cache) Fill(addr mem.Addr, dtype mem.DataType, readyAt int64, prefetch 
 		f = flagPrefetched
 	}
 	*m = meta{ready: readyAt, dtype: dtype, flags: f}
+	if c.kind != KindLRU {
+		c.insertWay(victimIdx, si, uint64(la), dtype, prefetch)
+	}
 	c.mru[si] = uint16(victimIdx - base)
 	return v
 }
@@ -426,9 +515,13 @@ func (c *Cache) Promote(addr mem.Addr) {
 	tags := c.tags[base : base+c.assoc]
 	for i, t := range tags {
 		if t == uint64(la) {
-			c.tick++
-			c.lrus[base+i] = c.tick
-			c.missLA = noTag // the LRU bump could change a memoized victim
+			if c.kind == KindLRU {
+				c.tick++
+				c.lrus[base+i] = c.tick
+			} else {
+				c.promoteWay(base + i)
+			}
+			c.missLA = noTag // the recency bump could change a memoized victim
 			return
 		}
 	}

@@ -87,6 +87,7 @@ func (s *Suite) execute(req Request) (any, error) {
 
 	cfg := Machine(s.Scale)
 	cfg.Prefetcher = req.Kind
+	cfg.LLC.Policy = s.Replacement
 	if req.Variant.Mutate != nil {
 		req.Variant.Mutate(&cfg)
 	}

@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"sync"
 
+	"droplet/internal/cache"
 	"droplet/internal/core"
 	"droplet/internal/sim"
 	"droplet/internal/trace"
@@ -83,6 +84,14 @@ type Suite struct {
 	// fast-forwarded) clock, and Result.Sampled carries the extrapolated
 	// cycle estimate. Dependency analyses are unaffected.
 	Sample sim.Sampling
+
+	// Replacement sets the LLC replacement policy of the baseline machine
+	// for every simulation (zero value: LRU). It is a whole-suite setting,
+	// not part of the per-request cache key — construct one Suite per
+	// policy (as the CLIs do) rather than mutating it between requests.
+	// The "repl" experiment sweeps policies via per-request Variants
+	// instead and ignores this field.
+	Replacement cache.Kind
 
 	mu      sync.Mutex
 	flights map[string]*flight

@@ -140,6 +140,7 @@ var Experiments = []Experiment{
 	{"fig13", "off-chip demand MPKI by type", wrap(RunFig13)},
 	{"fig14", "prefetch accuracy", wrap(RunFig14)},
 	{"fig15", "bandwidth overhead (BPKI)", wrap(RunFig15)},
+	{"repl", "LLC replacement-policy sweep (Jamet et al.)", wrap(RunReplacementSweep)},
 	{"ablation", "Table IV design-decision ablation", wrap(RunAblation)},
 	{"reusedist", "per-type reuse-distance profile (Observation #6)", wrap(RunReuseDist)},
 	{"adaptive", "adaptive data-awareness extension (Section VII-B)", wrap(RunAdaptive)},

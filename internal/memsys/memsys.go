@@ -174,12 +174,17 @@ func New(cfg Config, as *mem.AddressSpace) (*Hierarchy, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// Every cache instance gets an independent deterministic seed derived
+	// from its level and core id, so Random-replacement siblings do not
+	// evict in lockstep. LRU and the RRIP family ignore the seed.
+	llcCfg := cfg.LLC
+	llcCfg.Seed = cache.SaltSeed(cfg.LLC.Seed, 3<<8)
 	h := &Hierarchy{
 		cfg:   cfg,
 		as:    as,
 		l1:    make([]*cache.Cache, cfg.Cores),
 		l2:    make([]*cache.Cache, cfg.Cores),
-		llc:   cache.New(cfg.LLC),
+		llc:   cache.New(llcCfg),
 		mc:    dram.NewMemoryController(cfg.DRAM),
 		pfs:   make([]prefetch.L2Prefetcher, cfg.Cores),
 		memos: make([]translationMemo, cfg.Cores),
@@ -188,9 +193,13 @@ func New(cfg Config, as *mem.AddressSpace) (*Hierarchy, error) {
 		upperBits: cfg.Cores <= 16,
 	}
 	for i := 0; i < cfg.Cores; i++ {
-		h.l1[i] = cache.New(cfg.L1)
+		l1Cfg := cfg.L1
+		l1Cfg.Seed = cache.SaltSeed(cfg.L1.Seed, 1<<8|uint64(i))
+		h.l1[i] = cache.New(l1Cfg)
 		if !cfg.NoL2 {
-			h.l2[i] = cache.New(cfg.L2)
+			l2Cfg := cfg.L2
+			l2Cfg.Seed = cache.SaltSeed(cfg.L2.Seed, 2<<8|uint64(i))
+			h.l2[i] = cache.New(l2Cfg)
 		}
 	}
 	h.mc.SubscribeRefill(func(r dram.Refill) {

@@ -656,6 +656,9 @@ func SimulateStream(ctx context.Context, st *trace.Stream, cfg Config, opts Opti
 	if cfg.Cores != st.NumCores() {
 		return nil, fmt.Errorf("sim: machine has %d cores but stream has %d sources", cfg.Cores, st.NumCores())
 	}
+	if opts.Replacement != nil {
+		cfg.LLC.Policy = *opts.Replacement
+	}
 	lay := st.Layout()
 	h, err := memsys.New(cfg.memConfig(), lay.AS)
 	if err != nil {

@@ -116,6 +116,11 @@ type Options struct {
 	// SimulateStream (<= 0 picks cpu.DefaultDepRingEvents). Ignored by
 	// the materialized path.
 	DepRingEvents int
+	// Replacement, when non-nil, overrides the LLC replacement policy
+	// (cfg.LLC.Policy) — the paper-relevant lever, sweepable without
+	// rebuilding configs. Private-cache policies are still set directly
+	// on cfg.L1/cfg.L2.
+	Replacement *cache.Kind
 }
 
 func (o Options) validate() error {
@@ -147,6 +152,9 @@ func Simulate(ctx context.Context, tr *trace.Trace, cfg Config, opts Options) (*
 	}
 	if cfg.Cores != tr.NumCores() {
 		return nil, fmt.Errorf("sim: machine has %d cores but trace has %d streams", cfg.Cores, tr.NumCores())
+	}
+	if opts.Replacement != nil {
+		cfg.LLC.Policy = *opts.Replacement
 	}
 	h, err := memsys.New(cfg.memConfig(), tr.Layout.AS)
 	if err != nil {
