@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"droplet/internal/cache"
+	"droplet/internal/core"
 	"droplet/internal/exp"
 	"droplet/internal/workload"
 )
@@ -30,6 +31,9 @@ func main() {
 		telemDir = flag.String("telemetry-dir", "", "stream per-simulation epoch JSONL telemetry into this directory")
 		epochCyc = flag.Int64("epoch", 0, "telemetry epoch granularity in cycles (0 = default)")
 		repl     = flag.String("replacement", "lru", "LLC replacement policy for the baseline machine: lru, random, srrip, brrip, drrip, ship")
+		replL1   = flag.String("replacement-l1", "lru", "private L1 replacement policy (same names as -replacement)")
+		replL2   = flag.String("replacement-l2", "lru", "private L2 replacement policy (same names as -replacement)")
+		pfx      = flag.String("prefetcher", "", "restrict the pfx experiment to these comma-separated engines: "+strings.Join(core.KindNames(), ", "))
 	)
 	flag.Parse()
 
@@ -58,10 +62,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, "droplet-exp:", err)
 		os.Exit(1)
 	}
+	polL1, err := cache.ParseReplacement(*replL1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "droplet-exp:", err)
+		os.Exit(1)
+	}
+	polL2, err := cache.ParseReplacement(*replL2)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "droplet-exp:", err)
+		os.Exit(1)
+	}
 
 	s := exp.NewSuite(sc)
 	s.Jobs = *jobs
 	s.Replacement = pol
+	s.ReplacementL1 = polL1
+	s.ReplacementL2 = polL2
+	if *pfx != "" {
+		for _, name := range strings.Split(*pfx, ",") {
+			k, err := core.ParseKind(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "droplet-exp:", err)
+				os.Exit(1)
+			}
+			s.Prefetchers = append(s.Prefetchers, k)
+		}
+	}
 	if *telemDir != "" {
 		if err := os.MkdirAll(*telemDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "droplet-exp:", err)

@@ -46,6 +46,7 @@ import (
 type runFlags struct {
 	algo, dataset, pf, scale     string
 	replacement                  string
+	replacementL1, replacementL2 string
 	cores, llcKB                 int
 	graphEL                      string
 	asJSON, stream               bool
@@ -61,9 +62,11 @@ func main() {
 	var rf runFlags
 	flag.StringVar(&rf.algo, "algo", "PR", "algorithm: BC, BFS, PR, SSSP, CC")
 	flag.StringVar(&rf.dataset, "dataset", "kron", "dataset: kron, urand, orkut, livejournal, road")
-	flag.StringVar(&rf.pf, "prefetcher", "droplet", "prefetcher: nopf, ghb, vldp, stream, streamMPP1, droplet, monoDROPLETL1")
+	flag.StringVar(&rf.pf, "prefetcher", "droplet", "prefetcher: "+strings.Join(core.KindNames(), ", ")+" (comma-separated list restricts the -matrix pfx experiment)")
 	flag.StringVar(&rf.scale, "scale", "quick", "workload scale: quick, full, or huge (huge requires -stream)")
 	flag.StringVar(&rf.replacement, "replacement", "lru", "LLC replacement policy: lru, random, srrip, brrip, drrip, ship")
+	flag.StringVar(&rf.replacementL1, "replacement-l1", "lru", "private L1 replacement policy (same names as -replacement)")
+	flag.StringVar(&rf.replacementL2, "replacement-l2", "lru", "private L2 replacement policy (same names as -replacement)")
 	flag.IntVar(&rf.cores, "cores", 4, "number of simulated cores")
 	flag.IntVar(&rf.llcKB, "llc", 0, "override LLC size in KB (0 = scale default)")
 	flag.StringVar(&rf.graphEL, "graphfile", "", "run on a custom edge-list graph instead of a registered dataset")
@@ -118,9 +121,17 @@ func main() {
 	}
 
 	if *matrix != "" {
+		// -prefetcher only restricts the matrix's pfx experiment when the
+		// user set it explicitly; the single-run default must not leak in.
+		pfList := ""
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "prefetcher" {
+				pfList = rf.pf
+			}
+		})
 		sample, err := parseSampling(rf)
 		if err == nil {
-			err = runMatrix(*matrix, *benchmarks, rf.scale, rf.replacement, *jobs, *verbose, *outPath, *telemDir, rf.epochCyc, sample)
+			err = runMatrix(*matrix, *benchmarks, pfList, rf, *jobs, *verbose, *outPath, *telemDir, sample)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dropletsim:", err)
@@ -170,20 +181,39 @@ func parseSampling(rf runFlags) (sim.Sampling, error) {
 // of the suite cache in table order no matter how the scheduler
 // interleaved the simulations, so -jobs N output diffs clean against
 // -jobs 1 (the CI smoke job relies on this), with or without sampling.
-func runMatrix(ids, benchList, scaleName, replacement string, jobs int, verbose bool, outPath, telemDir string, epochCyc int64, sample sim.Sampling) error {
-	sc, err := parseScale(scaleName)
+func runMatrix(ids, benchList, pfList string, rf runFlags, jobs int, verbose bool, outPath, telemDir string, sample sim.Sampling) error {
+	sc, err := parseScale(rf.scale)
 	if err != nil {
 		return err
 	}
-	pol, err := cache.ParseReplacement(replacement)
+	pol, err := cache.ParseReplacement(rf.replacement)
+	if err != nil {
+		return err
+	}
+	polL1, err := cache.ParseReplacement(rf.replacementL1)
+	if err != nil {
+		return err
+	}
+	polL2, err := cache.ParseReplacement(rf.replacementL2)
 	if err != nil {
 		return err
 	}
 	s := exp.NewSuite(sc)
 	s.Jobs = jobs
 	s.Sample = sample
-	s.EpochCycles = epochCyc
+	s.EpochCycles = rf.epochCyc
 	s.Replacement = pol
+	s.ReplacementL1 = polL1
+	s.ReplacementL2 = polL2
+	if pfList != "" {
+		for _, name := range strings.Split(pfList, ",") {
+			k, err := core.ParseKind(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			s.Prefetchers = append(s.Prefetchers, k)
+		}
+	}
 	if telemDir != "" {
 		if err := os.MkdirAll(telemDir, 0o755); err != nil {
 			return err
@@ -279,6 +309,12 @@ func run(rf runFlags) error {
 		return err
 	}
 	cfg.LLC.Policy = pol
+	if cfg.L1.Policy, err = cache.ParseReplacement(rf.replacementL1); err != nil {
+		return err
+	}
+	if cfg.L2.Policy, err = cache.ParseReplacement(rf.replacementL2); err != nil {
+		return err
+	}
 	if rf.llcKB > 0 {
 		cfg.LLC.SizeBytes = rf.llcKB << 10
 	}
@@ -621,5 +657,10 @@ func printResult(r *sim.Result) {
 		s := m.Stats()
 		fmt.Printf("MPP: %d triggers, %d addresses, %d LLC copies, %d DRAM prefetches, %d dropped\n",
 			s.Triggers, s.AddrsGenerated, s.CopiedFromLLC, s.IssuedToDRAM, s.DroppedVABFull+s.DroppedFault)
+	}
+	if p := r.Attachment.Pickle; p != nil {
+		s := p.Stats()
+		fmt.Printf("Pickle: %d triggers, %d issued, %d dropped (window %d, degree %d)\n",
+			s.Triggers, s.Issued, s.DroppedWindow+s.DroppedDegree, s.DroppedWindow, s.DroppedDegree)
 	}
 }

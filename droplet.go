@@ -308,9 +308,10 @@ type Result = sim.Result
 // Prefetcher selects one of the paper's six evaluated configurations.
 type Prefetcher = core.PrefetcherKind
 
-// The evaluated prefetcher configurations (Section VII-A), plus two
-// extensions: the Table IV "when to prefetch" ablation and the Section
-// VII-B adaptive data-awareness design.
+// The evaluated prefetcher configurations (Section VII-A), plus three
+// extensions: the Table IV "when to prefetch" ablation, the Section
+// VII-B adaptive data-awareness design, and the Pickle-style cross-core
+// LLC engine.
 const (
 	NoPrefetch             = core.NoPrefetch
 	GHB                    = core.GHB
@@ -321,6 +322,7 @@ const (
 	MonoDROPLETL1          = core.MonoDROPLETL1
 	DROPLETDemandTriggered = core.DROPLETDemandTriggered
 	DROPLETAdaptive        = core.DROPLETAdaptive
+	Pickle                 = core.Pickle
 )
 
 // Prefetchers lists every configuration in presentation order.
@@ -474,6 +476,13 @@ func WithSampling(s Sampling) Option {
 // directly on the config's cache levels).
 func WithReplacement(k Replacement) Option {
 	return func(o *sim.Options) { o.Replacement = &k }
+}
+
+// WithPrefetcher overrides the prefetcher configuration for one run,
+// leaving the MachineConfig untouched — the per-run lever the engine
+// comparison matrix sweeps.
+func WithPrefetcher(k Prefetcher) Option {
+	return func(o *sim.Options) { o.Prefetcher = &k }
 }
 
 // WithDepRingEvents overrides the streaming dependency-ring capacity

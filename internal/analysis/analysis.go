@@ -9,7 +9,7 @@
 //     (for detmap) the experiment table emission: a map iteration or a
 //     wall-clock read there changes published numbers between runs.
 //   - hotalloc and scratch apply module-wide: //droplet:hotpath
-//     annotations and OnAccess scratch signatures carry their own scope.
+//     annotations and Observe scratch signatures carry their own scope.
 package analysis
 
 import (

@@ -31,7 +31,7 @@ func TestSeededViolations(t *testing.T) {
 		"detmap":    2, // Victims, plus reasonless (its directive is malformed, so no suppression)
 		"nondet":    1, // Stamp
 		"hotalloc":  1, // Touch
-		"scratch":   1, // keeper.OnAccess
+		"scratch":   1, // keeper.Observe
 		"directive": 2, // both reason-less //droplet:allow forms
 	}
 	for name, n := range want {

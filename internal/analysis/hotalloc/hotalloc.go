@@ -15,7 +15,7 @@
 // Arguments of panic(...) are exempt: a panicking simulator is already
 // dead, so its error formatting is free to allocate. Calls through
 // interfaces or function values are not traversed — the concrete
-// implementations on the demand path (prefetcher OnAccess methods, the
+// implementations on the demand path (prefetch-engine Observe methods, the
 // MPP refill hook, the memory hierarchy entry points) carry their own
 // annotations instead.
 //

@@ -1,8 +1,8 @@
 // Package scratch implements the dropletlint analyzer enforcing the
-// caller-owned scratch-buffer convention on prefetcher OnAccess
-// implementations. The L2Prefetcher contract is
+// caller-owned scratch-buffer convention on prefetch-engine Observe
+// implementations. The Engine contract is
 //
-//	OnAccess(ev AccessInfo, reqs []Req) []Req
+//	Observe(ev AccessInfo, reqs []Req) []Req
 //
 // where reqs is a scratch buffer owned by the caller (the memory
 // hierarchy reuses it across every access). An implementation may append
@@ -11,10 +11,10 @@
 // no capturing it in a closure or goroutine, and every return path must
 // return the buffer (possibly grown), not nil or some other slice.
 //
-// The analyzer matches any method named OnAccess whose last parameter is
+// The analyzer matches any method named Observe whose last parameter is
 // a slice and whose single result has the identical slice type, so
-// fixture types and future prefetchers are covered without a hard
-// dependency on the prefetch package.
+// fixture types and future engines are covered without a hard dependency
+// on the prefetch package.
 package scratch
 
 import (
@@ -27,7 +27,7 @@ import (
 // Analyzer is the scratch pass.
 var Analyzer = &framework.Analyzer{
 	Name: "scratch",
-	Doc:  "enforces that OnAccess implementations only append to and return the caller-owned scratch slice",
+	Doc:  "enforces that Observe implementations only append to and return the caller-owned scratch slice",
 	Run:  run,
 }
 
@@ -36,7 +36,7 @@ func run(pass *framework.Pass) error {
 		var parents framework.ParentMap
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Recv == nil || fd.Name.Name != "OnAccess" || fd.Body == nil {
+			if !ok || fd.Recv == nil || fd.Name.Name != "Observe" || fd.Body == nil {
 				continue
 			}
 			dst := scratchParam(pass, fd)
@@ -81,7 +81,7 @@ func scratchParam(pass *framework.Pass, fd *ast.FuncDecl) types.Object {
 
 // checkMethod verifies every use of dst and every return statement.
 func checkMethod(pass *framework.Pass, parents framework.ParentMap, fd *ast.FuncDecl, dst types.Object) {
-	name := types.ExprString(fd.Recv.List[0].Type) + ".OnAccess"
+	name := types.ExprString(fd.Recv.List[0].Type) + ".Observe"
 
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {

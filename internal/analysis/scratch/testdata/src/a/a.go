@@ -1,4 +1,4 @@
-// Package a is the scratch fixture: OnAccess implementations that honor
+// Package a is the scratch fixture: Observe implementations that honor
 // the caller-owned scratch-buffer contract, and the retention shapes the
 // analyzer must reject.
 package a
@@ -12,7 +12,7 @@ type Ev struct{ Line uint64 }
 // Good appends and returns: the contract.
 type Good struct{ next uint64 }
 
-func (g *Good) OnAccess(ev Ev, reqs []Req) []Req {
+func (g *Good) Observe(ev Ev, reqs []Req) []Req {
 	reqs = append(reqs, Req{Addr: g.next})
 	return reqs
 }
@@ -20,8 +20,8 @@ func (g *Good) OnAccess(ev Ev, reqs []Req) []Req {
 // Delegate forwards the buffer to an inner implementation.
 type Delegate struct{ inner Good }
 
-func (d *Delegate) OnAccess(ev Ev, reqs []Req) []Req {
-	return d.inner.OnAccess(ev, reqs)
+func (d *Delegate) Observe(ev Ev, reqs []Req) []Req {
+	return d.inner.Observe(ev, reqs)
 }
 
 // Helper threads the buffer through a private emit helper.
@@ -29,7 +29,7 @@ type Helper struct{}
 
 func (h *Helper) emit(dst []Req, a uint64) []Req { return append(dst, Req{Addr: a}) }
 
-func (h *Helper) OnAccess(ev Ev, reqs []Req) []Req {
+func (h *Helper) Observe(ev Ev, reqs []Req) []Req {
 	reqs = h.emit(reqs, ev.Line)
 	return reqs
 }
@@ -37,7 +37,7 @@ func (h *Helper) OnAccess(ev Ev, reqs []Req) []Req {
 // Reads only inspects the buffer: all fine.
 type Reads struct{ last Req }
 
-func (r *Reads) OnAccess(ev Ev, reqs []Req) []Req {
+func (r *Reads) Observe(ev Ev, reqs []Req) []Req {
 	if len(reqs) > 0 {
 		r.last = reqs[0] // element copy, not retention
 	}
@@ -51,7 +51,7 @@ func (r *Reads) OnAccess(ev Ev, reqs []Req) []Req {
 // Retain stores the buffer in a field.
 type Retain struct{ buf []Req }
 
-func (r *Retain) OnAccess(ev Ev, reqs []Req) []Req {
+func (r *Retain) Observe(ev Ev, reqs []Req) []Req {
 	r.buf = reqs // want `aliases the scratch slice "reqs" into r\.buf`
 	return reqs
 }
@@ -59,7 +59,7 @@ func (r *Retain) OnAccess(ev Ev, reqs []Req) []Req {
 // ResliceRetain stores a reslice: still the same backing array.
 type ResliceRetain struct{ buf []Req }
 
-func (r *ResliceRetain) OnAccess(ev Ev, reqs []Req) []Req {
+func (r *ResliceRetain) Observe(ev Ev, reqs []Req) []Req {
 	r.buf = reqs[:0] // want `aliases the scratch slice`
 	return reqs
 }
@@ -67,7 +67,7 @@ func (r *ResliceRetain) OnAccess(ev Ev, reqs []Req) []Req {
 // Alias copies the buffer into a second variable.
 type Alias struct{}
 
-func (a *Alias) OnAccess(ev Ev, reqs []Req) []Req {
+func (a *Alias) Observe(ev Ev, reqs []Req) []Req {
 	tmp := reqs // want `aliases the scratch slice`
 	_ = tmp
 	return reqs
@@ -76,7 +76,7 @@ func (a *Alias) OnAccess(ev Ev, reqs []Req) []Req {
 // WrongReturn hands back a different slice, losing the caller's buffer.
 type WrongReturn struct{}
 
-func (w *WrongReturn) OnAccess(ev Ev, reqs []Req) []Req {
+func (w *WrongReturn) Observe(ev Ev, reqs []Req) []Req {
 	out := make([]Req, 0, 4)
 	return out // want `must return the caller-owned scratch slice "reqs"`
 }
@@ -84,7 +84,7 @@ func (w *WrongReturn) OnAccess(ev Ev, reqs []Req) []Req {
 // NilReturn drops the buffer on one path.
 type NilReturn struct{}
 
-func (n *NilReturn) OnAccess(ev Ev, reqs []Req) []Req {
+func (n *NilReturn) Observe(ev Ev, reqs []Req) []Req {
 	if ev.Line == 0 {
 		return nil // want `must return the caller-owned scratch slice`
 	}
@@ -94,7 +94,7 @@ func (n *NilReturn) OnAccess(ev Ev, reqs []Req) []Req {
 // Capture closes over the buffer.
 type Capture struct{ f func() uint64 }
 
-func (c *Capture) OnAccess(ev Ev, reqs []Req) []Req {
+func (c *Capture) Observe(ev Ev, reqs []Req) []Req {
 	c.f = func() uint64 { return reqs[0].Addr } // want `captures the scratch slice`
 	return reqs
 }
@@ -102,7 +102,7 @@ func (c *Capture) OnAccess(ev Ev, reqs []Req) []Req {
 // Spawn hands the buffer to a goroutine.
 type Spawn struct{}
 
-func (s *Spawn) OnAccess(ev Ev, reqs []Req) []Req {
+func (s *Spawn) Observe(ev Ev, reqs []Req) []Req {
 	go consume(reqs) // want `deferred/concurrent call`
 	return reqs
 }
@@ -113,7 +113,7 @@ func consume([]Req) {}
 // result.
 type Discard struct{}
 
-func (d *Discard) OnAccess(ev Ev, reqs []Req) []Req {
+func (d *Discard) Observe(ev Ev, reqs []Req) []Req {
 	record(reqs) // want `discards the result`
 	return reqs
 }
@@ -124,7 +124,7 @@ func record([]Req) {}
 // analyzer ignores it.
 type NotScratch struct{ buf []Req }
 
-func (n *NotScratch) OnAccess(ev Ev, reqs []Req) int {
+func (n *NotScratch) Observe(ev Ev, reqs []Req) int {
 	n.buf = reqs
 	return 0
 }
@@ -132,7 +132,7 @@ func (n *NotScratch) OnAccess(ev Ev, reqs []Req) int {
 // Allowed demonstrates the escape hatch.
 type Allowed struct{ buf []Req }
 
-func (a *Allowed) OnAccess(ev Ev, reqs []Req) []Req {
+func (a *Allowed) Observe(ev Ev, reqs []Req) []Req {
 	//droplet:allow scratch -- fixture proves the escape hatch
 	a.buf = reqs
 	return reqs

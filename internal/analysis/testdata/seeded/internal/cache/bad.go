@@ -30,7 +30,7 @@ func Touch(set []int) []int {
 // keeper retains the scratch buffer: scratch.
 type keeper struct{ buf []byte }
 
-func (k *keeper) OnAccess(ev int, dst []byte) []byte {
+func (k *keeper) Observe(ev int, dst []byte) []byte {
 	k.buf = dst
 	return dst
 }

@@ -13,6 +13,9 @@
 //	               triggered by the MRB C-bit (the paper's design)
 //	monoDROPLETL1  data-aware streamer + MPP1 implemented monolithically
 //	               at the L1 (the Ainsworth-&-Jones-like arrangement)
+//	pickle         Pickle-style cross-core LLC engine: structure demand
+//	               misses from any core trigger precise LLC-only property
+//	               prefetches
 //
 // The design decisions encoded here map one-to-one onto Table IV:
 // prefetches land in the under-utilized L2, structure data streams with
@@ -23,8 +26,8 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
-	"droplet/internal/dram"
 	"droplet/internal/memsys"
 	"droplet/internal/prefetch"
 	"droplet/internal/trace"
@@ -52,11 +55,25 @@ const (
 	// rate, converting itself into the streamMPP1 arrangement on
 	// workloads (BFS, road meshes) where that wins.
 	DROPLETAdaptive
+	// Pickle is the Pickle-style cross-core LLC engine (PAPERS.md): LLC
+	// demand misses on structure lines from any core trigger precise
+	// property prefetches that fill only the shared LLC.
+	Pickle
 )
 
 // AllKinds lists every configuration in presentation order (the paper's
-// six plus the demand-trigger ablation).
-var AllKinds = []PrefetcherKind{NoPrefetch, GHB, VLDP, Stream, StreamMPP1, DROPLET, MonoDROPLETL1, DROPLETDemandTriggered, DROPLETAdaptive}
+// six plus the demand-trigger ablation and the cross-core LLC engine).
+var AllKinds = []PrefetcherKind{NoPrefetch, GHB, VLDP, Stream, StreamMPP1, DROPLET, MonoDROPLETL1, DROPLETDemandTriggered, DROPLETAdaptive, Pickle}
+
+// KindNames lists every configuration name, for flag help text and
+// parse-error messages.
+func KindNames() []string {
+	names := make([]string, len(AllKinds))
+	for i, k := range AllKinds {
+		names[i] = k.String()
+	}
+	return names
+}
 
 // String implements fmt.Stringer with the paper's configuration names.
 func (k PrefetcherKind) String() string {
@@ -79,6 +96,8 @@ func (k PrefetcherKind) String() string {
 		return "dropletDT"
 	case DROPLETAdaptive:
 		return "dropletA"
+	case Pickle:
+		return "pickle"
 	default:
 		return fmt.Sprintf("PrefetcherKind(%d)", int(k))
 	}
@@ -91,7 +110,7 @@ func ParseKind(s string) (PrefetcherKind, error) {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("core: unknown prefetcher %q", s)
+	return 0, fmt.Errorf("core: unknown prefetcher %q (valid: %s)", s, strings.Join(KindNames(), ", "))
 }
 
 // Options tunes an attachment.
@@ -101,6 +120,7 @@ type Options struct {
 	GHB      prefetch.GHBConfig
 	VLDP     prefetch.VLDPConfig
 	MPP      prefetch.MPPConfig
+	Pickle   prefetch.PickleConfig
 	// MonoTriggerDelay is the extra delay before the monolithic L1
 	// arrangement can scan a structure line: the refill must first climb
 	// LLC→L2→L1 (computed from the hierarchy's latencies by default).
@@ -115,6 +135,7 @@ func DefaultOptions() Options {
 		GHB:      prefetch.DefaultGHBConfig(),
 		VLDP:     prefetch.DefaultVLDPConfig(),
 		MPP:      prefetch.DefaultMPPConfig(),
+		Pickle:   prefetch.DefaultPickleConfig(),
 	}
 }
 
@@ -127,12 +148,18 @@ type Attachment struct {
 	GHBs      []*prefetch.GHB
 	VLDPs     []*prefetch.VLDP
 	MPP       *prefetch.MPP
+	Pickle    *prefetch.Pickle
 }
+
+// SharedEngineCore is the Core value EngineSnapshot uses for engines
+// observing the merged cross-core stream (shared scope).
+const SharedEngineCore = -1
 
 // EngineSnapshot is a point-in-time view of one prefetch engine's
 // cumulative counters, used by the telemetry subsystem to derive per-epoch
-// deltas. Core is the owning core index (engines here are always
-// per-core; the shared MPP is reported separately via MPPStats).
+// deltas. Core is the owning core index, or SharedEngineCore for engines
+// observing the merged cross-core stream (the shared MPP is reported
+// separately via MPPStats).
 type EngineSnapshot struct {
 	Core     int
 	Name     string
@@ -140,10 +167,10 @@ type EngineSnapshot struct {
 	Rejected uint64
 }
 
-// Engines appends a snapshot of every attached per-core engine to buf in
-// deterministic core order and returns the extended slice. Callers reuse
-// buf across epochs to keep the observer path allocation-free after the
-// first call.
+// Engines appends a snapshot of every attached engine to buf in
+// deterministic order (per-core engines in core order, then shared ones)
+// and returns the extended slice. Callers reuse buf across epochs to keep
+// the observer path allocation-free after the first call.
 func (a *Attachment) Engines(buf []EngineSnapshot) []EngineSnapshot {
 	for c, s := range a.Streamers {
 		buf = append(buf, EngineSnapshot{Core: c, Name: "stream", Issued: s.Issued, Rejected: s.RejectedNonStructure})
@@ -156,6 +183,10 @@ func (a *Attachment) Engines(buf []EngineSnapshot) []EngineSnapshot {
 	}
 	for c, v := range a.VLDPs {
 		buf = append(buf, EngineSnapshot{Core: c, Name: "vldp", Issued: v.Issued})
+	}
+	if p := a.Pickle; p != nil {
+		st := p.Stats()
+		buf = append(buf, EngineSnapshot{Core: SharedEngineCore, Name: "pickle", Issued: st.Issued, Rejected: st.RejectedNonTrigger})
 	}
 	return buf
 }
@@ -176,11 +207,21 @@ func Attach(k PrefetcherKind, h *memsys.Hierarchy, layout *trace.Layout, opt Opt
 	}
 	scan := prefetch.LineScanner(layout.ScanStructureLine)
 
+	// wire attaches one engine through the hierarchy's level-agnostic
+	// seam, keeping the first wiring error.
+	var wireErr error
+	wire := func(c int, e prefetch.Engine) {
+		if err := h.AttachEngine(c, e); err != nil && wireErr == nil {
+			wireErr = err
+		}
+	}
+
 	attachMPP := func(cfg prefetch.MPPConfig) {
-		a.MPP = prefetch.NewMPP(cfg, h, layout.AS, scan, props)
-		// Deferred delivery: the MPP reacts when the refill completes,
-		// not when the read is scheduled.
-		h.SubscribeRefill(func(r dram.Refill) { a.MPP.OnRefill(r) })
+		// The MPP declares AttachMC: the seam subscribes it to refill
+		// completions (delivery deferred to when the refill completes, not
+		// when the read is scheduled) and binds the chip interface.
+		a.MPP = prefetch.NewMPP(cfg, layout.AS, scan, props)
+		wire(SharedEngineCore, a.MPP)
 	}
 
 	switch k {
@@ -191,14 +232,14 @@ func Attach(k PrefetcherKind, h *memsys.Hierarchy, layout *trace.Layout, opt Opt
 		for c := 0; c < n; c++ {
 			g := prefetch.NewGHB(opt.GHB)
 			a.GHBs = append(a.GHBs, g)
-			h.AttachL2Prefetcher(c, g)
+			wire(c, g)
 		}
 
 	case VLDP:
 		for c := 0; c < n; c++ {
 			v := prefetch.NewVLDP(opt.VLDP)
 			a.VLDPs = append(a.VLDPs, v)
-			h.AttachL2Prefetcher(c, v)
+			wire(c, v)
 		}
 
 	case Stream:
@@ -208,7 +249,7 @@ func Attach(k PrefetcherKind, h *memsys.Hierarchy, layout *trace.Layout, opt Opt
 		for c := 0; c < n; c++ {
 			s := prefetch.NewStreamer(cfg)
 			a.Streamers = append(a.Streamers, s)
-			h.AttachL2Prefetcher(c, s)
+			wire(c, s)
 		}
 
 	case StreamMPP1:
@@ -217,7 +258,7 @@ func Attach(k PrefetcherKind, h *memsys.Hierarchy, layout *trace.Layout, opt Opt
 		for c := 0; c < n; c++ {
 			s := prefetch.NewStreamer(cfg)
 			a.Streamers = append(a.Streamers, s)
-			h.AttachL2Prefetcher(c, s)
+			wire(c, s)
 		}
 		mcfg := opt.MPP
 		mcfg.Trigger = prefetch.TriggerStructureOracle
@@ -229,7 +270,7 @@ func Attach(k PrefetcherKind, h *memsys.Hierarchy, layout *trace.Layout, opt Opt
 		for c := 0; c < n; c++ {
 			s := prefetch.NewStreamer(cfg)
 			a.Streamers = append(a.Streamers, s)
-			h.AttachL2Prefetcher(c, s)
+			wire(c, s)
 		}
 		mcfg := opt.MPP
 		mcfg.Trigger = prefetch.TriggerCBit
@@ -245,7 +286,7 @@ func Attach(k PrefetcherKind, h *memsys.Hierarchy, layout *trace.Layout, opt Opt
 		for c := 0; c < n; c++ {
 			s := prefetch.NewStreamer(cfg)
 			a.Streamers = append(a.Streamers, s)
-			h.AttachL2Prefetcher(c, s)
+			wire(c, s)
 		}
 		mcfg := opt.MPP
 		mcfg.Trigger = prefetch.TriggerStructureOracle
@@ -262,7 +303,7 @@ func Attach(k PrefetcherKind, h *memsys.Hierarchy, layout *trace.Layout, opt Opt
 		for c := 0; c < n; c++ {
 			ad := prefetch.NewAdaptiveStreamer(acfg)
 			a.Adaptives = append(a.Adaptives, ad)
-			h.AttachL2Prefetcher(c, ad)
+			wire(c, ad)
 		}
 		// The streamer's mode varies, so the C-bit cannot be relied on:
 		// pair with the structure-oracle MPP (the streamMPP1 trigger).
@@ -270,8 +311,15 @@ func Attach(k PrefetcherKind, h *memsys.Hierarchy, layout *trace.Layout, opt Opt
 		mcfg.Trigger = prefetch.TriggerStructureOracle
 		attachMPP(mcfg)
 
+	case Pickle:
+		a.Pickle = prefetch.NewPickle(opt.Pickle, scan, props)
+		wire(SharedEngineCore, a.Pickle)
+
 	default:
 		return nil, fmt.Errorf("core: unknown prefetcher kind %d", k)
+	}
+	if wireErr != nil {
+		return nil, wireErr
 	}
 	return a, nil
 }

@@ -44,6 +44,7 @@ func TestKindNames(t *testing.T) {
 		MonoDROPLETL1:          "monoDROPLETL1",
 		DROPLETDemandTriggered: "dropletDT",
 		DROPLETAdaptive:        "dropletA",
+		Pickle:                 "pickle",
 	}
 	for k, name := range want {
 		if k.String() != name {
@@ -141,7 +142,7 @@ func TestAttachMonoDelayDefaultsToClimbLatency(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, s := range a.Streamers {
-		reqs := s.OnAccess(prefetch.AccessInfo{VAddr: l.Structure.Base, StructureBit: true}, nil)
+		reqs := s.Observe(prefetch.AccessInfo{VAddr: l.Structure.Base, StructureBit: true}, nil)
 		_ = reqs
 	}
 	// Indirect check: RefillClimbLatency must be positive so mono pays a
@@ -160,6 +161,9 @@ func TestParseKindRoundTrip(t *testing.T) {
 	}
 	if _, err := ParseKind(""); err == nil {
 		t.Error("empty kind parsed")
+	}
+	if _, err := ParseKind("bogus"); err == nil || !strings.Contains(err.Error(), strings.Join(KindNames(), ", ")) {
+		t.Errorf("parse error should list every valid name, got: %v", err)
 	}
 }
 

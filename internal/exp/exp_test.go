@@ -283,8 +283,8 @@ func TestTables(t *testing.T) {
 }
 
 func TestExperimentRegistry(t *testing.T) {
-	if len(Experiments) != 24 {
-		t.Errorf("experiments = %d, want 24", len(Experiments))
+	if len(Experiments) != 25 {
+		t.Errorf("experiments = %d, want 25", len(Experiments))
 	}
 	seen := make(map[string]bool)
 	for _, e := range Experiments {

@@ -88,6 +88,8 @@ func (s *Suite) execute(req Request) (any, error) {
 	cfg := Machine(s.Scale)
 	cfg.Prefetcher = req.Kind
 	cfg.LLC.Policy = s.Replacement
+	cfg.L1.Policy = s.ReplacementL1
+	cfg.L2.Policy = s.ReplacementL2
 	if req.Variant.Mutate != nil {
 		req.Variant.Mutate(&cfg)
 	}

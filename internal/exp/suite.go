@@ -92,6 +92,15 @@ type Suite struct {
 	// The "repl" experiment sweeps policies via per-request Variants
 	// instead and ignores this field.
 	Replacement cache.Kind
+	// ReplacementL1 and ReplacementL2 set the private-cache replacement
+	// policies the same way (zero value: LRU, the Table I baseline).
+	ReplacementL1 cache.Kind
+	ReplacementL2 cache.Kind
+
+	// Prefetchers restricts the engine set the "pfx" comparison matrix
+	// sweeps (nil means the fig11 kinds plus the Pickle engine). Like
+	// Replacement it is a whole-suite setting, not part of the cache key.
+	Prefetchers []core.PrefetcherKind
 
 	mu      sync.Mutex
 	flights map[string]*flight

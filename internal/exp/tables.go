@@ -96,6 +96,7 @@ func TableV() string {
 	gh := prefetch.DefaultGHBConfig()
 	vl := prefetch.DefaultVLDPConfig()
 	mp := prefetch.DefaultMPPConfig()
+	pk := prefetch.DefaultPickleConfig()
 	var sb strings.Builder
 	sb.WriteString("Table V: prefetchers for evaluation\n")
 	fmt.Fprintf(&sb, "  L2 GHB       index table = %d, buffer = %d, degree = %d\n", gh.IndexSize, gh.BufferSize, gh.Degree)
@@ -104,6 +105,7 @@ func TableV() string {
 	fmt.Fprintf(&sb, "  MPP          PAG latency = %d cyc, %d-entry VAB/PAB, %d-entry MTLB,\n", mp.PAGLatency, mp.VABEntries, mp.MTLBEntries)
 	fmt.Fprintf(&sb, "               coherence check = %d cyc, page walk = %d cyc\n", mp.CoherenceCheckLatency, mp.PageWalkLatency)
 	sb.WriteString("  MPP1         MPP + oracle identification of structure cachelines\n")
+	fmt.Fprintf(&sb, "  LLC pickle   kernel latency = %d cyc, degree = %d, %d-line window\n", pk.KernelLatency, pk.MaxPerTrigger, pk.WindowLines)
 	return sb.String()
 }
 
@@ -141,6 +143,7 @@ var Experiments = []Experiment{
 	{"fig14", "prefetch accuracy", wrap(RunFig14)},
 	{"fig15", "bandwidth overhead (BPKI)", wrap(RunFig15)},
 	{"repl", "LLC replacement-policy sweep (Jamet et al.)", wrap(RunReplacementSweep)},
+	{"pfx", "prefetch-engine comparison incl. Pickle LLC engine", wrap(RunPrefetcherMatrix)},
 	{"ablation", "Table IV design-decision ablation", wrap(RunAblation)},
 	{"reusedist", "per-type reuse-distance profile (Observation #6)", wrap(RunReuseDist)},
 	{"adaptive", "adaptive data-awareness extension (Section VII-B)", wrap(RunAdaptive)},

@@ -21,10 +21,10 @@ func TestAccessZeroAllocSteadyState(t *testing.T) {
 	}{
 		{"nopf", func(*fixture) {}},
 		{"streamer", func(fx *fixture) {
-			fx.h.AttachL2Prefetcher(0, prefetch.NewStreamer(prefetch.DefaultStreamerConfig()))
+			fx.h.AttachEngine(0, prefetch.NewStreamer(prefetch.DefaultStreamerConfig()))
 		}},
 		{"ghb", func(fx *fixture) {
-			fx.h.AttachL2Prefetcher(0, prefetch.NewGHB(prefetch.DefaultGHBConfig()))
+			fx.h.AttachEngine(0, prefetch.NewGHB(prefetch.DefaultGHBConfig()))
 		}},
 	}
 	for _, tc := range cases {

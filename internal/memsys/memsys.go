@@ -1,8 +1,11 @@
 // Package memsys assembles the simulated memory hierarchy of Table I:
 // per-core private L1D and L2 caches, a shared inclusive LLC, and a single
-// memory controller in front of DRAM. It routes demand accesses, executes
-// prefetch requests from the L2-side prefetchers, and implements the
-// prefetch.Chip interface the MPP uses (coherence probe + the two
+// memory controller in front of DRAM. It routes demand accesses and wires
+// prefetch engines at their declared attachment points (AttachEngine):
+// per-core L2 engines snoop the local L1-miss stream, shared LLC engines
+// observe the merged cross-core demand stream, and MC engines react to
+// DRAM refills. The hierarchy also implements the prefetch.Chip interface
+// bound into ChipBinder engines like the MPP (coherence probe + the two
 // property-delivery paths of Fig. 8).
 package memsys
 
@@ -108,7 +111,11 @@ type Hierarchy struct {
 	l2  []*cache.Cache
 	llc *cache.Cache
 	mc  *dram.MemoryController
-	pfs []prefetch.L2Prefetcher // per core; nil entries mean no prefetcher
+	// l2eng holds the per-core L2-attached engines (nil entries mean no
+	// engine); llceng holds the shared LLC-attached engines, which observe
+	// every core's post-L2 stream.
+	l2eng  []prefetch.Engine
+	llceng []prefetch.Engine
 
 	// Refill subscribers (the MPP) act at refill-completion time, which
 	// lies in the future when the read is scheduled. Acting immediately
@@ -120,8 +127,8 @@ type Hierarchy struct {
 
 	// memos are per-core direct-mapped translation memos in front of the
 	// page table; pfbuf is the reusable prefetch-request scratch buffer
-	// threaded through L2Prefetcher.OnAccess. Both exist so the demand
-	// access path performs zero heap allocations in steady state.
+	// threaded through Engine.Observe. Both exist so the demand access
+	// path performs zero heap allocations in steady state.
 	memos []translationMemo
 	pfbuf []prefetch.Req
 
@@ -186,7 +193,7 @@ func New(cfg Config, as *mem.AddressSpace) (*Hierarchy, error) {
 		l2:    make([]*cache.Cache, cfg.Cores),
 		llc:   cache.New(llcCfg),
 		mc:    dram.NewMemoryController(cfg.DRAM),
-		pfs:   make([]prefetch.L2Prefetcher, cfg.Cores),
+		l2eng: make([]prefetch.Engine, cfg.Cores),
 		memos: make([]translationMemo, cfg.Cores),
 		pfbuf: make([]prefetch.Req, 0, 64),
 
@@ -275,9 +282,44 @@ func (q *refillHeap) pop() dram.Refill {
 	return r
 }
 
-// AttachL2Prefetcher installs p as core's L2-side prefetcher.
-func (h *Hierarchy) AttachL2Prefetcher(core int, p prefetch.L2Prefetcher) {
-	h.pfs[core] = p
+// AttachEngine wires e into the hierarchy at its declared attachment
+// level, validating the Level/Scope combination: AttachL2 engines are
+// per-core (ScopeLocal), AttachLLC engines observe the merged stream
+// (ScopeShared), and AttachMC engines must be RefillEngines. Engines
+// implementing ChipBinder are bound to the hierarchy's chip interface
+// before wiring. core names the owning core for ScopeLocal engines and
+// is ignored for ScopeShared ones.
+func (h *Hierarchy) AttachEngine(core int, e prefetch.Engine) error {
+	if b, ok := e.(prefetch.ChipBinder); ok {
+		b.Bind(h)
+	}
+	switch e.Level() {
+	case prefetch.AttachL2:
+		if e.Scope() != prefetch.ScopeLocal {
+			return fmt.Errorf("memsys: engine %s: L2 attachment requires local scope, got %s", e.Name(), e.Scope())
+		}
+		if core < 0 || core >= h.cfg.Cores {
+			return fmt.Errorf("memsys: engine %s: core %d out of range [0,%d)", e.Name(), core, h.cfg.Cores)
+		}
+		h.l2eng[core] = e
+	case prefetch.AttachLLC:
+		if e.Scope() != prefetch.ScopeShared {
+			return fmt.Errorf("memsys: engine %s: LLC attachment requires shared scope, got %s", e.Name(), e.Scope())
+		}
+		h.llceng = append(h.llceng, e)
+	case prefetch.AttachMC:
+		re, ok := e.(prefetch.RefillEngine)
+		if !ok {
+			return fmt.Errorf("memsys: engine %s: MC attachment requires a RefillEngine", e.Name())
+		}
+		if e.Scope() != prefetch.ScopeShared {
+			return fmt.Errorf("memsys: engine %s: MC attachment requires shared scope, got %s", e.Name(), e.Scope())
+		}
+		h.SubscribeRefill(re.OnRefill)
+	default:
+		return fmt.Errorf("memsys: engine %s: unknown attachment level %s", e.Name(), e.Level())
+	}
+	return nil
 }
 
 // NumCores returns the number of cores the hierarchy serves.
@@ -344,8 +386,9 @@ func (h *Hierarchy) Access(core int, vaddr mem.Addr, dtype mem.DataType, write b
 	}
 	t += int64(h.cfg.L1.LatencyTag)
 
-	// The L1 miss enters the L2 request queue, which every L2 prefetcher
-	// snoops (Fig. 9). The data-aware path sees the TLB's structure bit.
+	// The L1 miss enters the L2 request queue, which the core's L2-attached
+	// engine snoops (Fig. 9). The data-aware path sees the TLB's structure
+	// bit.
 	l2 := h.l2[core]
 	var l2Ready int64
 	l2Hit := false
@@ -353,8 +396,8 @@ func (h *Hierarchy) Access(core int, vaddr mem.Addr, dtype mem.DataType, write b
 		l2Ready, l2Hit = l2.Access(paddr, dtype, write, t)
 	}
 
-	if pf := h.pfs[core]; pf != nil {
-		reqs := pf.OnAccess(prefetch.AccessInfo{
+	if pf := h.l2eng[core]; pf != nil {
+		reqs := pf.Observe(prefetch.AccessInfo{
 			Core:         core,
 			VAddr:        vline,
 			PAddr:        paddr,
@@ -399,6 +442,9 @@ func (h *Hierarchy) Access(core int, vaddr mem.Addr, dtype mem.DataType, write b
 		h.fillUpper(core, paddr, dtype, complete, write, true, true)
 		h.stats.ServicedBy[LevelL3][dtype]++
 		h.stats.LatencyByLevel[LevelL3][dtype] += complete - now
+		if len(h.llceng) != 0 {
+			h.observeLLC(core, vline, paddr, dtype, pte.Structure, write, true, t)
+		}
 		return complete, LevelL3
 	}
 	t += int64(h.cfg.LLC.LatencyTag)
@@ -416,7 +462,35 @@ func (h *Hierarchy) Access(core int, vaddr mem.Addr, dtype mem.DataType, write b
 	h.fillUpper(core, paddr, dtype, complete, write, true, true)
 	h.stats.ServicedBy[LevelDRAM][dtype]++
 	h.stats.LatencyByLevel[LevelDRAM][dtype] += complete - now
+	if len(h.llceng) != 0 {
+		h.observeLLC(core, vline, paddr, dtype, pte.Structure, write, false, t)
+	}
 	return complete, LevelDRAM
+}
+
+// observeLLC delivers one demand event at the shared LLC to every
+// LLC-attached engine. It runs after the demand itself has been serviced,
+// so a triggering miss is never delayed by the prefetches it spawns; the
+// L2 observation's scratch buffer is idle by then and is reused.
+//droplet:hotpath
+func (h *Hierarchy) observeLLC(core int, vline, paddr mem.Addr, dtype mem.DataType, sbit, write, llcHit bool, now int64) {
+	ev := prefetch.AccessInfo{
+		Core:         core,
+		VAddr:        vline,
+		PAddr:        paddr,
+		DType:        dtype,
+		StructureBit: sbit,
+		LLCHit:       llcHit,
+		Write:        write,
+		Now:          now,
+	}
+	for _, e := range h.llceng {
+		reqs := e.Observe(ev, h.pfbuf[:0])
+		for _, r := range reqs {
+			h.ExecutePrefetch(r, now)
+		}
+		h.pfbuf = reqs[:0]
+	}
 }
 
 // expedite caps the wait on an in-flight fill at the cheapest demand
@@ -574,15 +648,37 @@ func (h *Hierarchy) markUpper(core int, paddr mem.Addr) {
 	}
 }
 
-// ExecutePrefetch runs one L2-prefetcher request at time now.
+// ExecutePrefetch runs one engine-issued prefetch request at time now
+// (plus the request's own Delay).
 //droplet:hotpath
 func (h *Hierarchy) ExecutePrefetch(r prefetch.Req, now int64) {
+	now += r.Delay
 	vline := mem.LineAddr(r.VAddr)
 	pte, dtype, ok := h.translate(r.Core, vline)
 	if !ok {
 		return // prefetch past a region: drop silently
 	}
 	paddr := pte.PPN<<mem.PageShift | (vline & (mem.PageSize - 1))
+
+	if r.LLCOnly {
+		// Cross-core delivery: fill the shared LLC and nothing above it, so
+		// every core sees the line without any private cache polluted.
+		if _, resident := h.llc.Lookup(paddr); resident {
+			h.stats.PrefetchFilteredOnChip++
+			return
+		}
+		complete := h.mc.Access(dram.Request{
+			Addr:     paddr,
+			VAddr:    vline,
+			CoreID:   r.Core,
+			Prefetch: true,
+			CBit:     r.CBit,
+			DType:    dtype,
+		}, now+int64(h.cfg.LLC.LatencyTag))
+		h.fillLLC(paddr, dtype, complete, true)
+		h.stats.PrefetchIssuedByType[dtype]++
+		return
+	}
 
 	// Already at the destination? Nothing to do.
 	dest := h.l1[r.Core]

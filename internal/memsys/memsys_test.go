@@ -148,7 +148,9 @@ func TestServicedByAccounting(t *testing.T) {
 
 func TestStreamerPrefetchImprovesLatency(t *testing.T) {
 	fx := newFixture(t, tinyConfig(1))
-	fx.h.AttachL2Prefetcher(0, prefetch.NewStreamer(prefetch.DefaultStreamerConfig()))
+	if err := fx.h.AttachEngine(0, prefetch.NewStreamer(prefetch.DefaultStreamerConfig())); err != nil {
+		t.Fatal(err)
+	}
 
 	// Stream through structure lines with big time gaps so prefetches
 	// land before demand.

@@ -32,6 +32,7 @@ func DefaultAdaptiveConfig() AdaptiveConfig {
 // requests carry no C-bit, so an MPP paired with it must use the
 // structure-oracle trigger (exactly the streamMPP1 arrangement).
 type AdaptiveStreamer struct {
+	L2Local
 	cfg AdaptiveConfig
 	s   *Streamer
 
@@ -56,7 +57,7 @@ func NewAdaptiveStreamer(cfg AdaptiveConfig) *AdaptiveStreamer {
 	return &AdaptiveStreamer{cfg: cfg, s: NewStreamer(base)}
 }
 
-// Name implements L2Prefetcher.
+// Name implements Engine.
 func (a *AdaptiveStreamer) Name() string { return "adaptive" }
 
 // DataAware reports the current mode.
@@ -70,9 +71,9 @@ func (a *AdaptiveStreamer) Issued() uint64 { return a.s.Issued }
 // while data-aware mode is active).
 func (a *AdaptiveStreamer) RejectedNonStructure() uint64 { return a.s.RejectedNonStructure }
 
-// OnAccess implements L2Prefetcher.
+// Observe implements Engine.
 //droplet:hotpath
-func (a *AdaptiveStreamer) OnAccess(ev AccessInfo, reqs []Req) []Req {
+func (a *AdaptiveStreamer) Observe(ev AccessInfo, reqs []Req) []Req {
 	a.count++
 	if ev.L2Hit {
 		a.hits++
@@ -80,7 +81,7 @@ func (a *AdaptiveStreamer) OnAccess(ev AccessInfo, reqs []Req) []Req {
 	if a.count >= a.cfg.EpochAccesses {
 		a.endEpoch()
 	}
-	return a.s.OnAccess(ev, reqs)
+	return a.s.Observe(ev, reqs)
 }
 
 func (a *AdaptiveStreamer) endEpoch() {

@@ -16,7 +16,7 @@ func adaptCfg() AdaptiveConfig {
 // driveEpoch feeds one epoch of accesses with the given L2 hit rate.
 func driveEpoch(a *AdaptiveStreamer, hitRate float64) {
 	for i := 0; i < 100; i++ {
-		a.OnAccess(AccessInfo{
+		a.Observe(AccessInfo{
 			VAddr: mem.Addr(0x100000 + i*mem.LineSize),
 			L2Hit: float64(i%100) < hitRate*100,
 		}, nil)
@@ -88,7 +88,7 @@ func TestAdaptiveModeAffectsRequests(t *testing.T) {
 	// In data-aware mode, non-structure streams yield nothing.
 	var reqs []Req
 	for i := 0; i < 8; i++ {
-		reqs = append(reqs, a.OnAccess(AccessInfo{VAddr: mem.Addr(0x400000 + i*mem.LineSize)}, nil)...)
+		reqs = append(reqs, a.Observe(AccessInfo{VAddr: mem.Addr(0x400000 + i*mem.LineSize)}, nil)...)
 	}
 	if len(reqs) != 0 {
 		t.Fatal("data-aware mode prefetched non-structure stream")
@@ -97,7 +97,7 @@ func TestAdaptiveModeAffectsRequests(t *testing.T) {
 	a.setMode(false)
 	reqs = nil
 	for i := 0; i < 8; i++ {
-		reqs = append(reqs, a.OnAccess(AccessInfo{VAddr: mem.Addr(0x800000 + i*mem.LineSize)}, nil)...)
+		reqs = append(reqs, a.Observe(AccessInfo{VAddr: mem.Addr(0x800000 + i*mem.LineSize)}, nil)...)
 	}
 	if len(reqs) == 0 {
 		t.Fatal("conventional mode did not prefetch the stream")

@@ -11,7 +11,7 @@ func BenchmarkStreamerSequential(b *testing.B) {
 	s := NewStreamer(DefaultStreamerConfig())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.OnAccess(AccessInfo{VAddr: mem.Addr(i) << mem.LineShift, StructureBit: true}, nil)
+		s.Observe(AccessInfo{VAddr: mem.Addr(i) << mem.LineShift, StructureBit: true}, nil)
 	}
 }
 
@@ -21,23 +21,23 @@ func BenchmarkStreamerRandom(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		addr = addr*6364136223846793005 + 1442695040888963407
-		s.OnAccess(AccessInfo{VAddr: mem.LineAddr(addr % (1 << 30))}, nil)
+		s.Observe(AccessInfo{VAddr: mem.LineAddr(addr % (1 << 30))}, nil)
 	}
 }
 
-func BenchmarkGHBOnAccess(b *testing.B) {
+func BenchmarkGHBObserve(b *testing.B) {
 	g := NewGHB(DefaultGHBConfig())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		g.OnAccess(AccessInfo{VAddr: mem.Addr(i%1024) << mem.LineShift}, nil)
+		g.Observe(AccessInfo{VAddr: mem.Addr(i%1024) << mem.LineShift}, nil)
 	}
 }
 
-func BenchmarkVLDPOnAccess(b *testing.B) {
+func BenchmarkVLDPObserve(b *testing.B) {
 	v := NewVLDP(DefaultVLDPConfig())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		v.OnAccess(AccessInfo{VAddr: mem.Addr(i*3) << mem.LineShift}, nil)
+		v.Observe(AccessInfo{VAddr: mem.Addr(i*3) << mem.LineShift}, nil)
 	}
 }
 
@@ -50,9 +50,10 @@ func BenchmarkMPPOnRefill(b *testing.B) {
 		ids[i] = uint32(i * 100)
 	}
 	chip := &benchChip{}
-	m := NewMPP(DefaultMPPConfig(), chip, as,
+	m := NewMPP(DefaultMPPConfig(), as,
 		func(_ mem.Addr, buf []uint32) []uint32 { return append(buf, ids...) },
 		[]PropArray{{Base: prop.Base, Elem: 4, Count: prop.Size / 4}})
+	m.Bind(chip)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pa, _ := as.Translate(str.Base)

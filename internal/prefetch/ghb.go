@@ -27,6 +27,7 @@ type ghbEntry struct {
 // position where that delta pair occurred, and prediction replays the
 // deltas that followed it.
 type GHB struct {
+	L2Local
 	cfg   GHBConfig
 	buf   []ghbEntry
 	head  int // next write position
@@ -58,7 +59,7 @@ func NewGHB(cfg GHBConfig) *GHB {
 	}
 }
 
-// Name implements L2Prefetcher.
+// Name implements Engine.
 func (g *GHB) Name() string { return "ghb" }
 
 func deltaKey(d1, d2 int64) uint64 {
@@ -67,9 +68,9 @@ func deltaKey(d1, d2 int64) uint64 {
 	return uint64(d1)*0x9e3779b97f4a7c15 ^ uint64(d2)
 }
 
-// OnAccess implements L2Prefetcher. GHB trains on L2 misses only.
+// Observe implements Engine. GHB trains on L2 misses only.
 //droplet:hotpath
-func (g *GHB) OnAccess(ev AccessInfo, reqs []Req) []Req {
+func (g *GHB) Observe(ev AccessInfo, reqs []Req) []Req {
 	if ev.L2Hit {
 		return reqs
 	}

@@ -18,7 +18,7 @@ func TestGHBLearnsRepeatingDeltaPattern(t *testing.T) {
 	deltas := []int64{1, 2, 1, 2, 1, 2, 1, 2}
 	var reqs []Req
 	for _, d := range deltas {
-		reqs = append(reqs, g.OnAccess(miss(addr), nil)...)
+		reqs = append(reqs, g.Observe(miss(addr), nil)...)
 		addr += mem.Addr(d * mem.LineSize)
 	}
 	if len(reqs) == 0 {
@@ -42,7 +42,7 @@ func TestGHBIgnoresL2Hits(t *testing.T) {
 	ev := miss(0x1000)
 	ev.L2Hit = true
 	for i := 0; i < 10; i++ {
-		if reqs := g.OnAccess(ev, nil); len(reqs) != 0 {
+		if reqs := g.Observe(ev, nil); len(reqs) != 0 {
 			t.Fatal("GHB trained on an L2 hit")
 		}
 		ev.VAddr += mem.LineSize
@@ -56,7 +56,7 @@ func TestGHBNoPredictionOnRandomColdStream(t *testing.T) {
 	addr := mem.Addr(0x40000000)
 	step := mem.Addr(mem.LineSize)
 	for i := 0; i < 64; i++ {
-		g.OnAccess(miss(addr), nil)
+		g.Observe(miss(addr), nil)
 		step = step*3 + 64 // strictly growing, never repeating deltas
 		addr += step
 	}
@@ -69,7 +69,7 @@ func TestGHBSequentialStream(t *testing.T) {
 	g := NewGHB(DefaultGHBConfig())
 	var reqs []Req
 	for i := 0; i < 16; i++ {
-		reqs = append(reqs, g.OnAccess(miss(mem.Addr(0x200000+i*mem.LineSize)), nil)...)
+		reqs = append(reqs, g.Observe(miss(mem.Addr(0x200000+i*mem.LineSize)), nil)...)
 	}
 	if len(reqs) == 0 {
 		t.Fatal("GHB failed on a unit-stride stream")
@@ -89,7 +89,7 @@ func TestGHBIndexTableBounded(t *testing.T) {
 	addr := mem.Addr(0x300000)
 	step := mem.Addr(mem.LineSize)
 	for i := 0; i < 1000; i++ {
-		g.OnAccess(miss(addr), nil)
+		g.Observe(miss(addr), nil)
 		step += mem.LineSize
 		addr += step
 	}
@@ -115,7 +115,7 @@ func TestVLDPLearnsInPagePattern(t *testing.T) {
 	for page := 0; page < 4; page++ {
 		base := mem.Addr(0x1000000 + page*mem.PageSize)
 		for _, off := range []int64{0, 1, 3, 4, 6, 7, 9} { // deltas 1,2,1,2,1,2
-			reqs = append(reqs, v.OnAccess(miss(base+mem.Addr(off*mem.LineSize)), nil)...)
+			reqs = append(reqs, v.Observe(miss(base+mem.Addr(off*mem.LineSize)), nil)...)
 		}
 	}
 	if len(reqs) == 0 {
@@ -133,7 +133,7 @@ func TestVLDPPredictionsStayInPage(t *testing.T) {
 	for page := 0; page < 6; page++ {
 		base := mem.Addr(0x2000000 + page*mem.PageSize)
 		for _, off := range []int64{60, 61, 62, 63} {
-			for _, r := range v.OnAccess(miss(base+mem.Addr(off*mem.LineSize)), nil) {
+			for _, r := range v.Observe(miss(base+mem.Addr(off*mem.LineSize)), nil) {
 				if r.VAddr>>mem.PageShift != base>>mem.PageShift {
 					t.Fatalf("prefetch %#x escaped page %#x", r.VAddr, base)
 				}
@@ -148,12 +148,12 @@ func TestVLDPOPTFirstAccessPrediction(t *testing.T) {
 	// by offset 7 (first delta +2).
 	for page := 0; page < 8; page++ {
 		base := mem.Addr(0x3000000 + page*mem.PageSize)
-		v.OnAccess(miss(base+5*mem.LineSize), nil)
-		v.OnAccess(miss(base+7*mem.LineSize), nil)
+		v.Observe(miss(base+5*mem.LineSize), nil)
+		v.Observe(miss(base+7*mem.LineSize), nil)
 	}
 	// A brand-new page touched at offset 5 should trigger an OPT prefetch
 	// of offset 7.
-	reqs := v.OnAccess(miss(mem.Addr(0x5000000+5*mem.LineSize)), nil)
+	reqs := v.Observe(miss(mem.Addr(0x5000000+5*mem.LineSize)), nil)
 	if len(reqs) != 1 {
 		t.Fatalf("OPT produced %d reqs, want 1", len(reqs))
 	}
@@ -167,7 +167,7 @@ func TestVLDPIgnoresL2Hits(t *testing.T) {
 	v := NewVLDP(DefaultVLDPConfig())
 	ev := miss(0x1000)
 	ev.L2Hit = true
-	if reqs := v.OnAccess(ev, nil); len(reqs) != 0 {
+	if reqs := v.Observe(ev, nil); len(reqs) != 0 {
 		t.Fatal("VLDP trained on an L2 hit")
 	}
 }
@@ -179,7 +179,7 @@ func TestVLDPTablesBounded(t *testing.T) {
 	v := NewVLDP(cfg)
 	addr := mem.Addr(0x4000000)
 	for i := 0; i < 500; i++ {
-		v.OnAccess(miss(addr), nil)
+		v.Observe(miss(addr), nil)
 		addr += mem.Addr((i%7 + 1) * mem.LineSize)
 	}
 	for i, d := range v.dpts {
@@ -206,7 +206,7 @@ func TestNopPrefetcher(t *testing.T) {
 	if n.Name() != "nopf" {
 		t.Error("bad name")
 	}
-	if reqs := n.OnAccess(miss(0x1000), nil); reqs != nil {
+	if reqs := n.Observe(miss(0x1000), nil); reqs != nil {
 		t.Error("nop prefetched")
 	}
 }

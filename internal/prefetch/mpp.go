@@ -105,8 +105,12 @@ type MPPStats struct {
 	MTLBMisses     uint64
 }
 
-// MPP is the memory-controller-based property prefetcher.
+// MPP is the memory-controller-based property prefetcher. It attaches at
+// the MC (RefillEngine) and delivers its prefetches through the Chip
+// interface bound at wiring time (ChipBinder) rather than by returning
+// Reqs, because its pipeline runs at refill completion, not demand time.
 type MPP struct {
+	MCShared
 	cfg   MPPConfig
 	chip  Chip
 	as    *mem.AddressSpace
@@ -120,15 +124,15 @@ type MPP struct {
 	stats    MPPStats
 }
 
-// NewMPP wires an MPP to the chip. scan and props come from the workload
-// layout (software support of Section VI).
-func NewMPP(cfg MPPConfig, chip Chip, as *mem.AddressSpace, scan LineScanner, props []PropArray) *MPP {
+// NewMPP builds an MPP. scan and props come from the workload layout
+// (software support of Section VI); the chip interface is bound when the
+// hierarchy wires the engine (ChipBinder).
+func NewMPP(cfg MPPConfig, as *mem.AddressSpace, scan LineScanner, props []PropArray) *MPP {
 	if cfg.VABEntries < 1 || cfg.MTLBEntries < 1 {
 		panic("prefetch: bad MPP config")
 	}
 	return &MPP{
 		cfg:      cfg,
-		chip:     chip,
 		as:       as,
 		scan:     scan,
 		props:    props,
@@ -138,6 +142,16 @@ func NewMPP(cfg MPPConfig, chip Chip, as *mem.AddressSpace, scan LineScanner, pr
 		ids:      make([]uint32, 0, mem.LineSize/4),
 	}
 }
+
+// Name implements Engine.
+func (m *MPP) Name() string { return "mpp" }
+
+// Observe implements Engine; the MPP acts on refills, not demand events.
+//droplet:hotpath
+func (m *MPP) Observe(_ AccessInfo, reqs []Req) []Req { return reqs }
+
+// Bind implements ChipBinder.
+func (m *MPP) Bind(c Chip) { m.chip = c }
 
 // Stats returns the live counters.
 func (m *MPP) Stats() *MPPStats { return &m.stats }

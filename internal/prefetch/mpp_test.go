@@ -52,7 +52,8 @@ func newMPPFixture(t *testing.T, cfg MPPConfig) *mppFixture {
 	}
 	scan := func(vline mem.Addr, ids []uint32) []uint32 { return append(ids, fx.ids[vline]...) }
 	props := []PropArray{{Base: prop.Base, Elem: 4, Count: prop.Size / 4}}
-	fx.mpp = NewMPP(cfg, fx.chip, as, scan, props)
+	fx.mpp = NewMPP(cfg, as, scan, props)
+	fx.mpp.Bind(fx.chip)
 	return fx
 }
 

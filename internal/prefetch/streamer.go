@@ -45,6 +45,7 @@ const linesPerPage = mem.PageSize / mem.LineSize
 // accesses establishing a direction, and then runs a prefetch frontier up
 // to Distance lines ahead of the demand stream.
 type Streamer struct {
+	L2Local
 	cfg      StreamerConfig
 	trackers []tracker
 	tick     uint64
@@ -63,7 +64,7 @@ func NewStreamer(cfg StreamerConfig) *Streamer {
 	return &Streamer{cfg: cfg, trackers: make([]tracker, cfg.Streams)}
 }
 
-// Name implements L2Prefetcher.
+// Name implements Engine.
 func (s *Streamer) Name() string {
 	if s.cfg.DataAware {
 		return "dastream"
@@ -71,9 +72,9 @@ func (s *Streamer) Name() string {
 	return "stream"
 }
 
-// OnAccess implements L2Prefetcher.
+// Observe implements Engine.
 //droplet:hotpath
-func (s *Streamer) OnAccess(ev AccessInfo, reqs []Req) []Req {
+func (s *Streamer) Observe(ev AccessInfo, reqs []Req) []Req {
 	// The conventional streamer snoops every L1-miss address in the L2
 	// request queue (Fig. 9(a)); the data-aware variant admits only
 	// structure-bit requests, with L2 hits on structure lines serving as

@@ -14,7 +14,7 @@ func access(addr mem.Addr, structBit bool) AccessInfo {
 func drive(s *Streamer, base mem.Addr, lines int, structBit bool) []Req {
 	var all []Req
 	for i := 0; i < lines; i++ {
-		all = append(all, s.OnAccess(access(base+mem.Addr(i*mem.LineSize), structBit), nil)...)
+		all = append(all, s.Observe(access(base+mem.Addr(i*mem.LineSize), structBit), nil)...)
 	}
 	return all
 }
@@ -44,7 +44,7 @@ func TestStreamerDescendingStream(t *testing.T) {
 	base := mem.Addr(0x20000 + 40*mem.LineSize)
 	var all []Req
 	for i := 0; i < 6; i++ {
-		all = append(all, s.OnAccess(access(base-mem.Addr(i*mem.LineSize), false), nil)...)
+		all = append(all, s.Observe(access(base-mem.Addr(i*mem.LineSize), false), nil)...)
 	}
 	if len(all) == 0 {
 		t.Fatal("descending stream not detected")
@@ -56,10 +56,10 @@ func TestStreamerDescendingStream(t *testing.T) {
 
 func TestStreamerNeedsConfirmation(t *testing.T) {
 	s := NewStreamer(DefaultStreamerConfig())
-	if r := s.OnAccess(access(0x30000, false), nil); len(r) != 0 {
+	if r := s.Observe(access(0x30000, false), nil); len(r) != 0 {
 		t.Error("prefetch after a single miss")
 	}
-	if r := s.OnAccess(access(0x30040, false), nil); len(r) != 0 {
+	if r := s.Observe(access(0x30040, false), nil); len(r) != 0 {
 		t.Error("prefetch after only one direction sample")
 	}
 }
@@ -105,9 +105,9 @@ func TestStreamerTrackerReplacement(t *testing.T) {
 	cfg.Streams = 2
 	s := NewStreamer(cfg)
 	// Touch three pages; the first tracker must be recycled.
-	s.OnAccess(access(0x1000_0000, false), nil)
-	s.OnAccess(access(0x2000_0000, false), nil)
-	s.OnAccess(access(0x3000_0000, false), nil)
+	s.Observe(access(0x1000_0000, false), nil)
+	s.Observe(access(0x2000_0000, false), nil)
+	s.Observe(access(0x3000_0000, false), nil)
 	if s.Allocations != 3 {
 		t.Errorf("allocations = %d, want 3", s.Allocations)
 	}
@@ -118,14 +118,14 @@ func TestStreamerTrackerReplacement(t *testing.T) {
 
 func TestStreamerDirectionRestart(t *testing.T) {
 	s := NewStreamer(DefaultStreamerConfig())
-	s.OnAccess(access(0x70000+4*mem.LineSize, false), nil)
-	s.OnAccess(access(0x70000+5*mem.LineSize, false), nil) // dir=+1
-	s.OnAccess(access(0x70000+2*mem.LineSize, false), nil) // contradicts
+	s.Observe(access(0x70000+4*mem.LineSize, false), nil)
+	s.Observe(access(0x70000+5*mem.LineSize, false), nil) // dir=+1
+	s.Observe(access(0x70000+2*mem.LineSize, false), nil) // contradicts
 	// After contradiction, two more confirms are needed again.
-	if r := s.OnAccess(access(0x70000+3*mem.LineSize, false), nil); len(r) != 0 {
+	if r := s.Observe(access(0x70000+3*mem.LineSize, false), nil); len(r) != 0 {
 		t.Error("prefetched before re-confirmation")
 	}
-	got := s.OnAccess(access(0x70000+4*mem.LineSize, false), nil)
+	got := s.Observe(access(0x70000+4*mem.LineSize, false), nil)
 	if len(got) == 0 {
 		t.Error("stream not re-established after restart")
 	}

@@ -66,6 +66,7 @@ func (t *lruTable) put(k uint64, v int64) {
 // The offset prediction table issues a first prefetch on the initial
 // access to a page.
 type VLDP struct {
+	L2Local
 	cfg  VLDPConfig
 	dhb  []dhbEntry
 	opt  *lruTable   // first line offset → predicted first delta
@@ -96,7 +97,7 @@ func NewVLDP(cfg VLDPConfig) *VLDP {
 	return v
 }
 
-// Name implements L2Prefetcher.
+// Name implements Engine.
 func (v *VLDP) Name() string { return "vldp" }
 
 // histKey folds the most recent n deltas into a table key.
@@ -108,9 +109,9 @@ func histKey(deltas []int64, n int) uint64 {
 	return k
 }
 
-// OnAccess implements L2Prefetcher. VLDP trains on L2 misses.
+// Observe implements Engine. VLDP trains on L2 misses.
 //droplet:hotpath
-func (v *VLDP) OnAccess(ev AccessInfo, reqs []Req) []Req {
+func (v *VLDP) Observe(ev AccessInfo, reqs []Req) []Req {
 	if ev.L2Hit {
 		return reqs
 	}

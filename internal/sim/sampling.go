@@ -659,6 +659,9 @@ func SimulateStream(ctx context.Context, st *trace.Stream, cfg Config, opts Opti
 	if opts.Replacement != nil {
 		cfg.LLC.Policy = *opts.Replacement
 	}
+	if opts.Prefetcher != nil {
+		cfg.Prefetcher = *opts.Prefetcher
+	}
 	lay := st.Layout()
 	h, err := memsys.New(cfg.memConfig(), lay.AS)
 	if err != nil {

@@ -121,6 +121,10 @@ type Options struct {
 	// rebuilding configs. Private-cache policies are still set directly
 	// on cfg.L1/cfg.L2.
 	Replacement *cache.Kind
+	// Prefetcher, when non-nil, overrides the prefetcher configuration
+	// (cfg.Prefetcher) — the engine-comparison lever, sweepable without
+	// rebuilding configs.
+	Prefetcher *core.PrefetcherKind
 }
 
 func (o Options) validate() error {
@@ -155,6 +159,9 @@ func Simulate(ctx context.Context, tr *trace.Trace, cfg Config, opts Options) (*
 	}
 	if opts.Replacement != nil {
 		cfg.LLC.Policy = *opts.Replacement
+	}
+	if opts.Prefetcher != nil {
+		cfg.Prefetcher = *opts.Prefetcher
 	}
 	h, err := memsys.New(cfg.memConfig(), tr.Layout.AS)
 	if err != nil {
