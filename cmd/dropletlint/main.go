@@ -9,12 +9,17 @@
 //
 //	path/file.go:12:3: [detmap] nondeterministic map iteration ...
 //
-// and exits 1 when anything is found, 2 on load errors. The suite and
-// the invariants it enforces are documented in internal/analysis and in
+// and exits 1 when anything is found, 2 on load errors. With -json FILE
+// it additionally writes a machine-readable report — the registered
+// analyzer names plus every finding — which CI uploads as an artifact
+// and asserts the expected analyzers against. The suite and the
+// invariants it enforces are documented in internal/analysis and in
 // DESIGN.md ("Static invariants").
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -23,9 +28,29 @@ import (
 	"droplet/internal/analysis/framework"
 )
 
+// report is the -json output shape. Findings is never null so consumers
+// can index it unconditionally.
+type report struct {
+	Module    string    `json:"module"`
+	Analyzers []string  `json:"analyzers"`
+	Findings  []finding `json:"findings"`
+	Count     int       `json:"count"`
+}
+
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
+	jsonPath := flag.String("json", "", "also write a JSON report (analyzers + findings) to this file")
+	flag.Parse()
+
 	dir := "."
-	for _, arg := range os.Args[1:] {
+	for _, arg := range flag.Args() {
 		switch arg {
 		case "./...", "...":
 			// whole-module is the only granularity; accepted for muscle memory
@@ -44,13 +69,37 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dropletlint: %v\n", err)
 		os.Exit(2)
 	}
+
+	rep := report{Module: mod.Path, Findings: []finding{}, Count: len(diags)}
+	for _, sa := range analysis.Analyzers {
+		rep.Analyzers = append(rep.Analyzers, sa.Analyzer.Name)
+	}
 	for _, d := range diags {
 		pos := d.Position
 		if rel, err := filepath.Rel(".", pos.Filename); err == nil && len(rel) < len(pos.Filename) {
 			pos.Filename = rel
 		}
 		fmt.Printf("%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+		rep.Findings = append(rep.Findings, finding{
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Column:   pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
 	}
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dropletlint: writing %s: %v\n", *jsonPath, err)
+			os.Exit(2)
+		}
+	}
+
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "dropletlint: %d finding(s)\n", len(diags))
 		os.Exit(1)

@@ -1,0 +1,845 @@
+// Package addrdomain implements the dropletlint analyzer that tracks
+// which *address domain* every integer value in the simulator belongs
+// to. mem.Addr carries byte addresses, line numbers, cache tags, set
+// indices, and vertex ids interchangeably — every `>> mem.LineShift` /
+// `<< mem.LineShift` site is a manual, unchecked domain conversion the
+// compiler cannot see. This analyzer makes those conversions checked:
+//
+// The lattice has six points:
+//
+//	byte     a byte address (line-aligned or not): vaddr, paddr, vline
+//	line     a line number: addr >> mem.LineShift
+//	tag      a cache tag: the portion of a line number a cache stores
+//	         (in droplet, caches deliberately store the FULL line
+//	         number as the tag, so their tag arrays are annotated line)
+//	set      a set index: line & setMask, or line % sets
+//	setmask  a set-selection mask (sets-1), consumed by the & idiom
+//	vertex   a graph vertex id
+//
+// plus unknown (⊥): anything not provably in a domain. Checks only fire
+// between two *known* domains, so unannotated code stays silent.
+//
+// Domains seed from annotations and propagate by inference:
+//
+//	//droplet:addr <domain>
+//	    Trailing (or doc) comment on a struct field or var declaration:
+//	    the value held there — for slices, arrays, maps, and channels,
+//	    each element — is in <domain>.
+//
+//	//droplet:addr <param> <domain>
+//	//droplet:addr return <domain>
+//	    In a function's doc comment: the named parameter (or the single
+//	    result) is in <domain>. Call arguments and returned expressions
+//	    are checked against these, and call results inherit the return
+//	    domain — annotation inheritance through calls.
+//
+// Inference rules (x's domain → result domain, where LineShift is any
+// constant named LineShift):
+//
+//	x >> LineShift      byte|unknown → line; line/tag/set/vertex is a
+//	                    double conversion (finding)
+//	x << LineShift      line|tag|unknown → byte; byte/set/vertex is a
+//	                    finding
+//	x & mask            if either side is setmask: line|unknown → set,
+//	                    byte → finding (mask the line number, not the
+//	                    byte address)
+//	x % y               line → set
+//	x op y (&,|,^,&^)   known op unknown → known (offset/mask algebra);
+//	                    mixing two different known domains is a finding
+//	x ± y               same rule; x - y of one domain is a delta
+//	                    (unknown); comparisons of two different known
+//	                    domains are findings
+//	T(x), x[i], -x, &x  preserve the domain (elements share the
+//	                    container's domain)
+//
+// Findings are suppressed the usual way with
+// //droplet:allow addrdomain -- <reason>.
+package addrdomain
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"droplet/internal/analysis/framework"
+)
+
+// Analyzer is the addrdomain pass.
+var Analyzer = &framework.Analyzer{
+	Name: "addrdomain",
+	Doc:  "tracks byte/line/tag/set/vertex address domains across values and flags cross-domain mixes",
+	Run:  run,
+}
+
+// Domain is one point of the address-domain lattice.
+type Domain uint8
+
+// The lattice. Unknown is bottom: no check ever fires against it.
+const (
+	Unknown Domain = iota
+	Byte
+	Line
+	Tag
+	Set
+	SetMask
+	Vertex
+)
+
+var domainNames = map[string]Domain{
+	"byte":    Byte,
+	"line":    Line,
+	"tag":     Tag,
+	"set":     Set,
+	"setmask": SetMask,
+	"vertex":  Vertex,
+}
+
+// String renders the domain the way annotations spell it.
+func (d Domain) String() string {
+	switch d {
+	case Byte:
+		return "byte"
+	case Line:
+		return "line"
+	case Tag:
+		return "tag"
+	case Set:
+		return "set"
+	case SetMask:
+		return "setmask"
+	case Vertex:
+		return "vertex"
+	}
+	return "unknown"
+}
+
+const directive = "//droplet:addr"
+
+// state is the module-wide annotation table, built once and shared by
+// every per-package pass.
+type state struct {
+	// value maps annotated struct fields and vars to their domain.
+	value map[types.Object]Domain
+	// fn maps an annotated function to param-name → domain, with the
+	// pseudo-name "return" for its single result.
+	fn map[types.Object]map[string]Domain
+	// malformed records unparsable or misplaced //droplet:addr comments
+	// per package path, reported when that package's pass runs.
+	malformed map[string][]badDirective
+}
+
+type badDirective struct {
+	pos token.Pos
+	msg string
+}
+
+func run(pass *framework.Pass) error {
+	st := pass.Module.Cache("addrdomain", func() any {
+		return buildState(pass.Module)
+	}).(*state)
+
+	for _, bad := range st.malformed[pass.Pkg.Path] {
+		pass.Reportf(bad.pos, "%s", bad.msg)
+	}
+
+	c := &checker{pass: pass, st: st, info: pass.Pkg.Info}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				c.checkFunc(d)
+			case *ast.GenDecl:
+				// Package-level initializers run with an empty env.
+				c.env = map[types.Object]Domain{}
+				c.ret = Unknown
+				for _, spec := range d.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						c.checkValueSpec(vs, token.ASSIGN)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ------------------------------------------------------ annotation scan
+
+// buildState scans every package's AST for //droplet:addr directives.
+func buildState(mod *framework.Module) *state {
+	st := &state{
+		value:     make(map[types.Object]Domain),
+		fn:        make(map[types.Object]map[string]Domain),
+		malformed: make(map[string][]badDirective),
+	}
+	for _, pkg := range mod.Packages {
+		consumed := make(map[token.Pos]bool)
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.StructType:
+					for _, fld := range n.Fields.List {
+						st.collectValueAnn(pkg, fld.Doc, fld.Comment, fld.Names, consumed)
+					}
+				case *ast.ValueSpec:
+					st.collectValueAnn(pkg, n.Doc, n.Comment, n.Names, consumed)
+				case *ast.FuncDecl:
+					st.collectFuncAnn(pkg, n, consumed)
+				}
+				return true
+			})
+			// Any //droplet:addr comment not consumed above is malformed
+			// or misplaced (e.g. on a statement instead of a declaration).
+			for _, cg := range f.Comments {
+				for _, cmt := range cg.List {
+					if !isDirective(cmt.Text) || consumed[cmt.Pos()] {
+						continue
+					}
+					st.malformed[pkg.Path] = append(st.malformed[pkg.Path], badDirective{
+						pos: cmt.Pos(),
+						msg: `malformed or misplaced //droplet:addr: want "//droplet:addr <domain>" on a field/var declaration or "//droplet:addr <param>|return <domain>" in a function doc comment`,
+					})
+				}
+			}
+		}
+	}
+	return st
+}
+
+func isDirective(text string) bool {
+	return text == directive || strings.HasPrefix(text, directive+" ")
+}
+
+// collectValueAnn records a field/var annotation from its doc or
+// trailing comment group.
+func (st *state) collectValueAnn(pkg *framework.Package, doc, trailing *ast.CommentGroup, names []*ast.Ident, consumed map[token.Pos]bool) {
+	var cmts []*ast.Comment
+	for _, g := range []*ast.CommentGroup{doc, trailing} {
+		if g != nil {
+			cmts = append(cmts, g.List...)
+		}
+	}
+	for _, cmt := range cmts {
+		if !isDirective(cmt.Text) {
+			continue
+		}
+		fields := strings.Fields(strings.TrimPrefix(cmt.Text, directive))
+		if len(fields) != 1 {
+			continue // left unconsumed → reported as malformed
+		}
+		d, ok := domainNames[fields[0]]
+		if !ok {
+			continue
+		}
+		consumed[cmt.Pos()] = true
+		for _, name := range names {
+			if obj := pkg.Info.Defs[name]; obj != nil {
+				st.value[obj] = d
+			}
+		}
+	}
+}
+
+// collectFuncAnn records `//droplet:addr <param>|return <domain>` lines
+// from a function's doc comment.
+func (st *state) collectFuncAnn(pkg *framework.Package, fd *ast.FuncDecl, consumed map[token.Pos]bool) {
+	if fd.Doc == nil {
+		return
+	}
+	obj := pkg.Info.Defs[fd.Name]
+	if obj == nil {
+		return
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for _, cmt := range fd.Doc.List {
+		if !isDirective(cmt.Text) {
+			continue
+		}
+		fields := strings.Fields(strings.TrimPrefix(cmt.Text, directive))
+		if len(fields) != 2 {
+			continue
+		}
+		d, ok := domainNames[fields[1]]
+		if !ok {
+			continue
+		}
+		name := fields[0]
+		if name == "return" {
+			if sig.Results().Len() != 1 {
+				continue // only single results carry a domain
+			}
+		} else if !hasParam(sig, name) {
+			continue
+		}
+		consumed[cmt.Pos()] = true
+		if st.fn[obj] == nil {
+			st.fn[obj] = make(map[string]Domain)
+		}
+		st.fn[obj][name] = d
+	}
+}
+
+func hasParam(sig *types.Signature, name string) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i).Name() == name {
+			return true
+		}
+	}
+	if r := sig.Recv(); r != nil && r.Name() == name {
+		return true
+	}
+	return false
+}
+
+// ----------------------------------------------------------- the walker
+
+// checker evaluates one function body in source order, maintaining a
+// flow-sensitive environment of variable domains.
+type checker struct {
+	pass *framework.Pass
+	st   *state
+	info *types.Info
+	env  map[types.Object]Domain
+	// ret is the annotated domain of the enclosing function's single
+	// result (Unknown when unannotated or multi-result).
+	ret Domain
+}
+
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	c.env = make(map[types.Object]Domain)
+	c.ret = Unknown
+	obj := c.info.Defs[fd.Name]
+	if ann := c.st.fn[obj]; ann != nil {
+		sig := obj.Type().(*types.Signature)
+		seed := func(v *types.Var) {
+			if v == nil {
+				return
+			}
+			if d, ok := ann[v.Name()]; ok {
+				c.env[v] = d
+			}
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			seed(sig.Params().At(i))
+		}
+		seed(sig.Recv())
+		if d, ok := ann["return"]; ok {
+			c.ret = d
+		}
+	}
+	c.walkStmt(fd.Body)
+}
+
+func (c *checker) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			c.walkStmt(st)
+		}
+	case *ast.ExprStmt:
+		c.domainOf(s.X)
+	case *ast.AssignStmt:
+		c.assign(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					c.checkValueSpec(vs, token.DEFINE)
+				}
+			}
+		}
+	case *ast.IfStmt:
+		c.walkStmt(s.Init)
+		c.domainOf(s.Cond)
+		c.walkStmt(s.Body)
+		c.walkStmt(s.Else)
+	case *ast.ForStmt:
+		c.walkStmt(s.Init)
+		if s.Cond != nil {
+			c.domainOf(s.Cond)
+		}
+		c.walkStmt(s.Body)
+		c.walkStmt(s.Post)
+	case *ast.RangeStmt:
+		d := c.domainOf(s.X)
+		// The value var shares the container's element domain; the key
+		// is an index (or map key) we don't track.
+		if s.Key != nil {
+			c.bind(s.Key, Unknown)
+		}
+		if s.Value != nil {
+			c.bind(s.Value, d)
+		}
+		c.walkStmt(s.Body)
+	case *ast.SwitchStmt:
+		c.walkStmt(s.Init)
+		var dTag Domain
+		if s.Tag != nil {
+			dTag = c.domainOf(s.Tag)
+		}
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CaseClause)
+			for _, e := range cc.List {
+				dc := c.domainOf(e)
+				if s.Tag != nil && dTag != Unknown && dc != Unknown && dTag != dc {
+					c.pass.Reportf(e.Pos(), "switch compares %s-domain value with %s-domain case", dTag, dc)
+				}
+			}
+			for _, st := range cc.Body {
+				c.walkStmt(st)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		c.walkStmt(s.Init)
+		c.walkStmt(s.Assign)
+		for _, cl := range s.Body.List {
+			for _, st := range cl.(*ast.CaseClause).Body {
+				c.walkStmt(st)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			c.walkStmt(cc.Comm)
+			for _, st := range cc.Body {
+				c.walkStmt(st)
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			d := c.domainOf(e)
+			if len(s.Results) == 1 && c.ret != Unknown && d != Unknown && d != c.ret {
+				c.pass.Reportf(e.Pos(), "returning %s-domain value from function annotated //droplet:addr return %s", d, c.ret)
+			}
+		}
+	case *ast.IncDecStmt:
+		c.domainOf(s.X) // ±1 keeps the domain
+	case *ast.SendStmt:
+		dc := c.domainOf(s.Chan)
+		dv := c.domainOf(s.Value)
+		if dc != Unknown && dv != Unknown && dc != dv {
+			c.pass.Reportf(s.Value.Pos(), "sending %s-domain value on %s-domain channel", dv, dc)
+		}
+	case *ast.GoStmt:
+		c.domainOf(s.Call)
+	case *ast.DeferStmt:
+		c.domainOf(s.Call)
+	case *ast.LabeledStmt:
+		c.walkStmt(s.Stmt)
+	}
+}
+
+// checkValueSpec handles `var x T = e` declarations, including ones
+// carrying their own //droplet:addr annotation.
+func (c *checker) checkValueSpec(vs *ast.ValueSpec, tok token.Token) {
+	if len(vs.Values) == len(vs.Names) {
+		for i, name := range vs.Names {
+			d := c.domainOf(vs.Values[i])
+			c.bindChecked(name, d, vs.Values[i].Pos())
+		}
+		return
+	}
+	for _, e := range vs.Values {
+		c.domainOf(e)
+	}
+}
+
+// assign processes one assignment statement flow-sensitively.
+func (c *checker) assign(s *ast.AssignStmt) {
+	if s.Tok == token.ASSIGN || s.Tok == token.DEFINE {
+		if len(s.Lhs) == len(s.Rhs) {
+			for i := range s.Lhs {
+				d := c.domainOf(s.Rhs[i])
+				c.assignTo(s.Lhs[i], d, s.Rhs[i].Pos())
+			}
+			return
+		}
+		// Tuple assignment (a, b := f()): domains don't flow through
+		// multi-result calls, so everything on the left resets.
+		for _, e := range s.Rhs {
+			c.domainOf(e)
+		}
+		for _, l := range s.Lhs {
+			c.assignTo(l, Unknown, l.Pos())
+		}
+		return
+	}
+	// Compound assignment: x op= y behaves like x = x op y.
+	op := compoundOp(s.Tok)
+	x := c.domainOf(s.Lhs[0])
+	y := c.domainOf(s.Rhs[0])
+	d := c.combine(op, x, y, s.Pos())
+	c.assignTo(s.Lhs[0], d, s.Rhs[0].Pos())
+}
+
+func compoundOp(t token.Token) token.Token {
+	switch t {
+	case token.ADD_ASSIGN:
+		return token.ADD
+	case token.SUB_ASSIGN:
+		return token.SUB
+	case token.MUL_ASSIGN:
+		return token.MUL
+	case token.QUO_ASSIGN:
+		return token.QUO
+	case token.REM_ASSIGN:
+		return token.REM
+	case token.AND_ASSIGN:
+		return token.AND
+	case token.OR_ASSIGN:
+		return token.OR
+	case token.XOR_ASSIGN:
+		return token.XOR
+	case token.SHL_ASSIGN:
+		return token.SHL
+	case token.SHR_ASSIGN:
+		return token.SHR
+	case token.AND_NOT_ASSIGN:
+		return token.AND_NOT
+	}
+	return token.ILLEGAL
+}
+
+// assignTo routes the inferred domain d into the assignment target,
+// checking annotated fields and element stores.
+func (c *checker) assignTo(lhs ast.Expr, d Domain, pos token.Pos) {
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		c.bindChecked(l, d, pos)
+	case *ast.SelectorExpr:
+		c.domainOf(l.X)
+		if obj := c.info.Uses[l.Sel]; obj != nil {
+			if ann, ok := c.st.value[obj]; ok && d != Unknown && d != ann {
+				c.pass.Reportf(pos, "assigning %s-domain value to %s (annotated //droplet:addr %s)", d, l.Sel.Name, ann)
+			}
+		}
+	case *ast.IndexExpr:
+		base := c.domainOf(l.X)
+		c.domainOf(l.Index)
+		if base != Unknown && d != Unknown && d != base {
+			c.pass.Reportf(pos, "storing %s-domain value into %s-domain container", d, base)
+		}
+	case *ast.StarExpr:
+		c.domainOf(l.X)
+	case *ast.ParenExpr:
+		c.assignTo(l.X, d, pos)
+	}
+}
+
+// bind updates the environment for an identifier target.
+func (c *checker) bind(lhs ast.Expr, d Domain) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	if obj := c.objOf(id); obj != nil {
+		c.env[obj] = d
+	}
+}
+
+// bindChecked is bind plus the annotated-var write check.
+func (c *checker) bindChecked(id *ast.Ident, d Domain, pos token.Pos) {
+	if id.Name == "_" {
+		return
+	}
+	obj := c.objOf(id)
+	if obj == nil {
+		return
+	}
+	if ann, ok := c.st.value[obj]; ok && d != Unknown && d != ann {
+		c.pass.Reportf(pos, "assigning %s-domain value to %s (annotated //droplet:addr %s)", d, id.Name, ann)
+	}
+	c.env[obj] = d
+}
+
+func (c *checker) objOf(id *ast.Ident) types.Object {
+	if obj := c.info.Uses[id]; obj != nil {
+		return obj
+	}
+	return c.info.Defs[id]
+}
+
+// ------------------------------------------------------ the evaluator
+
+// domainOf evaluates e's domain, reporting any cross-domain misuse it
+// encounters along the way. It is called exactly once per syntactic
+// position, so diagnostics are never duplicated.
+func (c *checker) domainOf(e ast.Expr) Domain {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return c.domainOf(e.X)
+	case *ast.Ident:
+		if obj := c.objOf(e); obj != nil {
+			if d, ok := c.env[obj]; ok {
+				return d
+			}
+			if d, ok := c.st.value[obj]; ok {
+				return d
+			}
+		}
+		return Unknown
+	case *ast.SelectorExpr:
+		c.domainOf(e.X)
+		if obj := c.info.Uses[e.Sel]; obj != nil {
+			if d, ok := c.st.value[obj]; ok {
+				return d
+			}
+		}
+		return Unknown
+	case *ast.IndexExpr:
+		d := c.domainOf(e.X)
+		c.domainOf(e.Index)
+		return d
+	case *ast.SliceExpr:
+		d := c.domainOf(e.X)
+		for _, b := range []ast.Expr{e.Low, e.High, e.Max} {
+			if b != nil {
+				c.domainOf(b)
+			}
+		}
+		return d
+	case *ast.StarExpr:
+		return c.domainOf(e.X)
+	case *ast.UnaryExpr:
+		return c.domainOf(e.X)
+	case *ast.TypeAssertExpr:
+		return c.domainOf(e.X)
+	case *ast.BinaryExpr:
+		x := c.domainOf(e.X)
+		y := c.domainOf(e.Y)
+		return c.binary(e, x, y)
+	case *ast.CallExpr:
+		return c.call(e)
+	case *ast.CompositeLit:
+		c.composite(e)
+		return Unknown
+	case *ast.FuncLit:
+		// Closures share the enclosing env; their own results carry no
+		// annotation.
+		savedRet := c.ret
+		c.ret = Unknown
+		c.walkStmt(e.Body)
+		c.ret = savedRet
+		return Unknown
+	}
+	return Unknown
+}
+
+// binary applies the inference rules to x op y.
+func (c *checker) binary(e *ast.BinaryExpr, x, y Domain) Domain {
+	switch e.Op {
+	case token.SHR:
+		if c.isLineShift(e.Y) {
+			switch x {
+			case Line, Tag, Set, Vertex:
+				c.pass.Reportf(e.Pos(), "double conversion: >> LineShift applied to a value already in the %s domain", x)
+				return Unknown
+			}
+			return Line
+		}
+		return Unknown
+	case token.SHL:
+		if c.isLineShift(e.Y) {
+			switch x {
+			case Byte, Set, SetMask, Vertex:
+				c.pass.Reportf(e.Pos(), "<< LineShift applied to a %s-domain value (only line numbers convert to byte addresses)", x)
+				return Unknown
+			}
+			return Byte
+		}
+		return Unknown
+	case token.AND:
+		if x == SetMask || y == SetMask {
+			other := x
+			if x == SetMask {
+				other = y
+			}
+			if other == Byte {
+				c.pass.Reportf(e.Pos(), "masking a byte-domain address with a set mask (convert to the line domain first)")
+				return Unknown
+			}
+			return Set
+		}
+		return c.combine(e.Op, x, y, e.Pos())
+	case token.OR, token.XOR, token.AND_NOT, token.ADD, token.SUB:
+		return c.combine(e.Op, x, y, e.Pos())
+	case token.MUL, token.QUO:
+		// Scaling leaves every domain: vid*elemSize is an offset, not a
+		// vertex.
+		return Unknown
+	case token.REM:
+		if x == Line {
+			return Set
+		}
+		return Unknown
+	case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+		if x != Unknown && y != Unknown && x != y {
+			c.pass.Reportf(e.Pos(), "comparing %s-domain value with %s-domain value", x, y)
+		}
+		return Unknown
+	}
+	return Unknown
+}
+
+// combine joins two domains under offset/mask algebra: a known domain
+// absorbs unknown operands (base + offset, value & mask), two equal
+// domains keep it (except subtraction, whose result is a delta), and
+// two different known domains are a finding.
+func (c *checker) combine(op token.Token, x, y Domain, pos token.Pos) Domain {
+	if x != Unknown && y != Unknown && x != y {
+		kind := "arithmetic"
+		switch op {
+		case token.AND, token.OR, token.XOR, token.AND_NOT:
+			kind = "bitwise operation"
+		}
+		c.pass.Reportf(pos, "%s mixes %s-domain and %s-domain values", kind, x, y)
+		return Unknown
+	}
+	if op == token.SUB && x != Unknown && x == y {
+		return Unknown // a - b within one domain is a delta
+	}
+	if x != Unknown {
+		return x
+	}
+	return y
+}
+
+// isLineShift reports whether the shift count resolves to a constant
+// named LineShift (any package, so fixtures need not import mem).
+func (c *checker) isLineShift(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return c.isLineShift(e.X)
+	case *ast.CallExpr:
+		// uint(LineShift)-style conversions.
+		if tv, ok := c.info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return c.isLineShift(e.Args[0])
+		}
+		return false
+	case *ast.Ident:
+		cst, ok := c.objOf(e).(*types.Const)
+		return ok && cst.Name() == "LineShift"
+	case *ast.SelectorExpr:
+		cst, ok := c.info.Uses[e.Sel].(*types.Const)
+		return ok && cst.Name() == "LineShift"
+	}
+	return false
+}
+
+// call evaluates a call or conversion: conversions preserve the operand
+// domain, annotated callees check their arguments and supply their
+// return domain, and append behaves like the slice it extends.
+func (c *checker) call(e *ast.CallExpr) Domain {
+	if tv, ok := c.info.Types[e.Fun]; ok && tv.IsType() {
+		if len(e.Args) == 1 {
+			return c.domainOf(e.Args[0])
+		}
+		return Unknown
+	}
+
+	callee := c.calleeOf(e.Fun)
+	if b, ok := callee.(*types.Builtin); ok {
+		return c.builtin(b, e)
+	}
+	// Evaluate a method's receiver chain for nested checks.
+	if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+		c.domainOf(sel.X)
+	}
+
+	fn, _ := callee.(*types.Func)
+	var ann map[string]Domain
+	var sig *types.Signature
+	if fn != nil {
+		ann = c.st.fn[fn]
+		sig, _ = fn.Type().(*types.Signature)
+	}
+	for i, arg := range e.Args {
+		d := c.domainOf(arg)
+		if ann == nil || sig == nil || d == Unknown {
+			continue
+		}
+		if i >= sig.Params().Len() || (sig.Variadic() && i >= sig.Params().Len()-1) {
+			continue
+		}
+		p := sig.Params().At(i)
+		if want, ok := ann[p.Name()]; ok && want != Unknown && d != want {
+			c.pass.Reportf(arg.Pos(), "passing %s-domain value as parameter %q of %s (annotated //droplet:addr %s %s)",
+				d, p.Name(), fn.Name(), p.Name(), want)
+		}
+	}
+	if ann != nil {
+		if d, ok := ann["return"]; ok {
+			return d
+		}
+	}
+	return Unknown
+}
+
+func (c *checker) calleeOf(fun ast.Expr) types.Object {
+	switch f := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		return c.objOf(f)
+	case *ast.SelectorExpr:
+		return c.info.Uses[f.Sel]
+	}
+	return nil
+}
+
+// builtin handles append (result and elements share the slice's
+// domain); everything else just evaluates its arguments.
+func (c *checker) builtin(b *types.Builtin, e *ast.CallExpr) Domain {
+	if b.Name() != "append" || len(e.Args) == 0 {
+		for _, a := range e.Args {
+			c.domainOf(a)
+		}
+		return Unknown
+	}
+	d0 := c.domainOf(e.Args[0])
+	for _, a := range e.Args[1:] {
+		d := c.domainOf(a)
+		if e.Ellipsis == token.NoPos && d0 != Unknown && d != Unknown && d != d0 {
+			c.pass.Reportf(a.Pos(), "appending %s-domain value to %s-domain slice", d, d0)
+		}
+	}
+	return d0
+}
+
+// composite checks struct literals against field annotations.
+func (c *checker) composite(lit *ast.CompositeLit) {
+	tv, ok := c.info.Types[lit]
+	if !ok {
+		return
+	}
+	strct, isStruct := tv.Type.Underlying().(*types.Struct)
+	for i, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			d := c.domainOf(kv.Value)
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				c.domainOf(kv.Key)
+				continue
+			}
+			if obj := c.info.Uses[key]; obj != nil {
+				if ann, ok := c.st.value[obj]; ok && d != Unknown && d != ann {
+					c.pass.Reportf(kv.Value.Pos(), "assigning %s-domain value to %s (annotated //droplet:addr %s)", d, key.Name, ann)
+				}
+			}
+			continue
+		}
+		d := c.domainOf(el)
+		if isStruct && i < strct.NumFields() {
+			fld := strct.Field(i)
+			if ann, ok := c.st.value[fld]; ok && d != Unknown && d != ann {
+				c.pass.Reportf(el.Pos(), "assigning %s-domain value to %s (annotated //droplet:addr %s)", d, fld.Name(), ann)
+			}
+		}
+	}
+}

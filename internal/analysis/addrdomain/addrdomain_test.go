@@ -1,0 +1,12 @@
+package addrdomain_test
+
+import (
+	"testing"
+
+	"droplet/internal/analysis/addrdomain"
+	"droplet/internal/analysis/analysistest"
+)
+
+func TestAddrDomain(t *testing.T) {
+	analysistest.Run(t, "testdata", addrdomain.Analyzer, "a")
+}

@@ -1,0 +1,168 @@
+// Package a exercises the addrdomain lattice: every rule family fires
+// once on an annotated value, and the legal idioms (round-trips,
+// offset algebra, line%sets, suppression) stay silent. The local
+// LineShift constant stands in for mem.LineShift — the analyzer matches
+// any constant of that name.
+package a
+
+const LineShift = 6
+
+var globalBase uint64 //droplet:addr byte
+
+// cacheT mirrors the real cache's annotated fields.
+type cacheT struct {
+	tags  []uint64 //droplet:addr line
+	mask  uint64   //droplet:addr setmask
+	vaddr uint64   //droplet:addr byte
+}
+
+type layout struct {
+	ids []uint32 //droplet:addr vertex
+}
+
+type lineChan struct {
+	ch chan uint64 //droplet:addr line
+}
+
+// ------------------------------------------------------------- findings
+
+//droplet:addr addr byte
+//droplet:addr la line
+func compare(addr, la uint64) bool {
+	return addr == la // want `comparing byte-domain value with line-domain value`
+}
+
+//droplet:addr addr byte
+func store(c *cacheT, addr uint64) {
+	c.tags[0] = addr // want `storing byte-domain value into line-domain container`
+}
+
+//droplet:addr la line
+func double(la uint64) uint64 {
+	return la >> LineShift // want `double conversion: >> LineShift applied to a value already in the line domain`
+}
+
+//droplet:addr addr byte
+func shl(addr uint64) uint64 {
+	return addr << LineShift // want `<< LineShift applied to a byte-domain value`
+}
+
+//droplet:addr addr byte
+func maskit(c *cacheT, addr uint64) uint64 {
+	return addr & c.mask // want `masking a byte-domain address with a set mask`
+}
+
+//droplet:addr addr byte
+//droplet:addr la line
+func mixAdd(addr, la uint64) uint64 {
+	return addr + la // want `arithmetic mixes byte-domain and line-domain values`
+}
+
+//droplet:addr addr byte
+//droplet:addr la line
+func mixOr(addr, la uint64) uint64 {
+	return addr | la // want `bitwise operation mixes byte-domain and line-domain values`
+}
+
+// toByte carries the annotations callers inherit from.
+//
+//droplet:addr la line
+//droplet:addr return byte
+func toByte(la uint64) uint64 { return la << LineShift }
+
+// callsite checks both halves of annotation inheritance: the argument
+// is checked against the parameter annotation, and the result carries
+// the return annotation into the caller's environment.
+//
+//droplet:addr addr byte
+func callsite(addr uint64) bool {
+	b := toByte(addr) // want `passing byte-domain value as parameter "la" of toByte`
+	la := b >> LineShift
+	return la == b // want `comparing line-domain value with byte-domain value`
+}
+
+//droplet:addr la line
+//droplet:addr return byte
+func badReturn(la uint64) uint64 {
+	return la // want `returning line-domain value from function annotated //droplet:addr return byte`
+}
+
+//droplet:addr la line
+func lit(la uint64) cacheT {
+	return cacheT{vaddr: la} // want `assigning line-domain value to vaddr`
+}
+
+//droplet:addr la line
+func setField(c *cacheT, la uint64) {
+	c.vaddr = la // want `assigning line-domain value to vaddr`
+}
+
+//droplet:addr addr byte
+func app(c *cacheT, addr uint64) {
+	c.tags = append(c.tags, addr) // want `appending byte-domain value to line-domain slice`
+}
+
+//droplet:addr addr byte
+//droplet:addr la line
+func sw(addr, la uint64) int {
+	switch addr {
+	case la: // want `switch compares byte-domain value with line-domain case`
+		return 1
+	}
+	return 0
+}
+
+//droplet:addr addr byte
+func send(l *lineChan, addr uint64) {
+	l.ch <- addr // want `sending byte-domain value on line-domain channel`
+}
+
+//droplet:addr la line
+func vtx(l *layout, la uint64) bool {
+	for _, id := range l.ids {
+		if uint64(id) == la { // want `comparing vertex-domain value with line-domain value`
+			return true
+		}
+	}
+	return false
+}
+
+//droplet:addr la line
+func useGlobal(la uint64) bool {
+	return globalBase == la // want `comparing byte-domain value with line-domain value`
+}
+
+// ------------------------------------------------------------ negatives
+
+// legal is the full conversion idiom: byte → line → set, line → byte,
+// and offset algebra against untracked integers. Nothing fires.
+//
+//droplet:addr addr byte
+func legal(c *cacheT, addr uint64) uint64 {
+	la := addr >> LineShift
+	si := la & c.mask
+	_ = si
+	back := la << LineShift
+	if back == addr {
+		return back + 8 // byte + offset stays byte
+	}
+	round := (la << LineShift) >> LineShift // round-trip is legal
+	return round
+}
+
+// remrule: line % sets lands in the set domain.
+//
+//droplet:addr la line
+//droplet:addr si set
+func remrule(la, si uint64) bool {
+	return la%64 == si
+}
+
+// suppressed proves the standard escape hatch applies.
+//
+//droplet:addr addr byte
+//droplet:addr la line
+func suppressed(addr, la uint64) bool {
+	//droplet:allow addrdomain -- fixture: proves suppression works
+	return addr == la
+}

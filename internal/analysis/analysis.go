@@ -15,11 +15,13 @@ package analysis
 import (
 	"strings"
 
+	"droplet/internal/analysis/addrdomain"
 	"droplet/internal/analysis/detmap"
 	"droplet/internal/analysis/framework"
 	"droplet/internal/analysis/hotalloc"
 	"droplet/internal/analysis/nondet"
 	"droplet/internal/analysis/scratch"
+	"droplet/internal/analysis/synccapture"
 )
 
 // simPackages are the deterministic simulation packages: everything the
@@ -56,6 +58,11 @@ var Analyzers = []ScopedAnalyzer{
 	{Analyzer: nondet.Analyzer, Scope: simPackages},
 	{Analyzer: hotalloc.Analyzer},
 	{Analyzer: scratch.Analyzer},
+	// addrdomain and synccapture run module-wide: //droplet:addr
+	// annotations carry their own scope, and goroutine-capture rules
+	// apply to every spawn site (exp workers, trace streaming, CLIs).
+	{Analyzer: addrdomain.Analyzer},
+	{Analyzer: synccapture.Analyzer},
 }
 
 // inScope reports whether path falls under scope.

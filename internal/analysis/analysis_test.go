@@ -28,11 +28,13 @@ func TestSeededViolations(t *testing.T) {
 		}
 	}
 	want := map[string]int{
-		"detmap":    2, // Victims, plus reasonless (its directive is malformed, so no suppression)
-		"nondet":    1, // Stamp
-		"hotalloc":  1, // Touch
-		"scratch":   1, // keeper.Observe
-		"directive": 2, // both reason-less //droplet:allow forms
+		"detmap":      2, // Victims, plus reasonless (its directive is malformed, so no suppression)
+		"nondet":      1, // Stamp
+		"hotalloc":    1, // Touch
+		"scratch":     1, // keeper.Observe
+		"addrdomain":  2, // Mixed, plus badDomain's malformed //droplet:addr
+		"synccapture": 1, // Leak
+		"directive":   2, // both reason-less //droplet:allow forms
 	}
 	for name, n := range want {
 		if got[name] != n {

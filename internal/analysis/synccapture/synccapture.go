@@ -1,0 +1,361 @@
+// Package synccapture implements the dropletlint analyzer that checks
+// goroutine-spawning code: every free variable captured by a
+// go-launched closure must be a channel, a sync/sync-atomic type, a
+// context, or provably confined — written only before the spawn, or
+// after a join (a .Wait() call between spawn and write). It is the
+// static complement to the -race CI job: -race only sees interleavings
+// the test run happens to execute, while these rules hold on every
+// path.
+//
+// Checks, per `go func() { ... }()` statement:
+//
+//   - A captured variable written inside the goroutine body (including
+//     element writes like errs[i] = v and writes through its fields) is
+//     a finding: the write races with the spawner unless some external
+//     protocol orders it.
+//   - A captured variable written by the enclosing function after the
+//     spawn is a finding, unless a `.Wait()` call sits between the
+//     spawn and the write (join-then-reuse is fine).
+//   - A captured variable declared outside a loop that encloses the go
+//     statement but written inside that loop is a finding: the
+//     goroutine may observe a later iteration's value. (Loop header
+//     variables are per-iteration since Go 1.22 and are exempt.)
+//   - sync.WaitGroup discipline: Add must happen before the spawn —
+//     an Add inside the goroutine body is a finding, and a goroutine
+//     that calls Done on a WaitGroup with no Add before the spawn in
+//     the same function is a finding.
+//
+// `go expr.Method(args)` with a non-literal callee evaluates its
+// receiver and arguments at spawn time, so nothing is captured and the
+// statement passes; mutation of shared state inside the callee is out
+// of scope (that is what -race and the detmap/nondet analyzers cover).
+// Suppress deliberate protocols with
+// //droplet:allow synccapture -- <reason>.
+package synccapture
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"droplet/internal/analysis/framework"
+)
+
+// Analyzer is the synccapture pass.
+var Analyzer = &framework.Analyzer{
+	Name: "synccapture",
+	Doc:  "requires variables captured by go-launched closures to be channels, sync types, or provably confined",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		pm := framework.BuildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if gs, ok := n.(*ast.GoStmt); ok {
+				check(pass, pm, gs)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// capture is one free variable of a go-launched closure.
+type capture struct {
+	obj      *types.Var
+	firstUse token.Pos
+}
+
+func check(pass *framework.Pass, pm framework.ParentMap, gs *ast.GoStmt) {
+	fl, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		// Non-literal callee: receiver and arguments are evaluated at
+		// spawn time, so there is no capture to check.
+		return
+	}
+	info := pass.Pkg.Info
+	enclosing := pm.EnclosingFunc(gs)
+	var enclosingBody *ast.BlockStmt
+	switch e := enclosing.(type) {
+	case *ast.FuncDecl:
+		enclosingBody = e.Body
+	case *ast.FuncLit:
+		enclosingBody = e.Body
+	}
+
+	caps := freeVars(info, fl)
+	checkWaitGroups(pass, info, fl, gs, enclosingBody)
+
+	for _, cp := range caps {
+		if isSyncSafe(cp.obj.Type()) {
+			continue
+		}
+		// Rule 1: writes inside the goroutine body.
+		reported := false
+		forWrites(info, fl.Body, cp.obj, func(pos token.Pos, kind string) {
+			if !reported {
+				pass.Reportf(pos, "captured variable %s is %s inside the goroutine; use a channel, a sync type, or confine the write to before the spawn", cp.obj.Name(), kind)
+				reported = true
+			}
+		})
+		if enclosingBody == nil {
+			continue
+		}
+		// Rule 2: writes after the spawn without an intervening join.
+		joins := waitCallsAfter(info, enclosingBody, gs.End())
+		forWrites(info, enclosingBody, cp.obj, func(pos token.Pos, kind string) {
+			if pos <= gs.End() || within(fl, pos) {
+				return
+			}
+			for _, j := range joins {
+				if j < pos {
+					return // joined before the write
+				}
+			}
+			pass.Reportf(pos, "captured variable %s is %s after the goroutine spawn with no .Wait() join in between", cp.obj.Name(), kind)
+		})
+		// Rule 3: declared outside an enclosing loop but written inside
+		// it — the goroutine may see a later iteration's value.
+		if loop := enclosingLoop(pm, gs, cp.obj.Pos()); loop != nil {
+			reported := false
+			forWrites(info, loopBody(loop), cp.obj, func(pos token.Pos, kind string) {
+				if within(fl, pos) || reported {
+					return // rule 1's territory
+				}
+				pass.Reportf(gs.Pos(), "captured variable %s is declared outside the loop but %s each iteration; the goroutine may observe a later iteration's value (declare it inside the loop or pass it as an argument)", cp.obj.Name(), kind)
+				reported = true
+			})
+		}
+	}
+}
+
+// freeVars collects the function-local variables fl references but does
+// not declare, ordered by first use.
+func freeVars(info *types.Info, fl *ast.FuncLit) []capture {
+	seen := make(map[*types.Var]token.Pos)
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true // package-level: shared, not captured
+		}
+		if within(fl, v.Pos()) {
+			return true // declared inside the closure (params included)
+		}
+		if _, ok := seen[v]; !ok {
+			seen[v] = id.Pos()
+		}
+		return true
+	})
+	caps := make([]capture, 0, len(seen))
+	for v, pos := range seen {
+		caps = append(caps, capture{obj: v, firstUse: pos})
+	}
+	sort.Slice(caps, func(i, j int) bool { return caps[i].firstUse < caps[j].firstUse })
+	return caps
+}
+
+func within(n ast.Node, pos token.Pos) bool {
+	return n.Pos() <= pos && pos < n.End()
+}
+
+// forWrites invokes fn for every write whose target's root identifier
+// resolves to obj: plain reassignment, element or field writes through
+// it, ++/--, and range-clause rebinding.
+func forWrites(info *types.Info, root ast.Node, obj *types.Var, fn func(pos token.Pos, kind string)) {
+	if root == nil {
+		return
+	}
+	classify := func(lhs ast.Expr) {
+		base := lhs
+		kind := "reassigned"
+		for {
+			switch l := base.(type) {
+			case *ast.ParenExpr:
+				base = l.X
+				continue
+			case *ast.IndexExpr:
+				base, kind = l.X, "written (element write)"
+				continue
+			case *ast.SelectorExpr:
+				base, kind = l.X, "written (field write)"
+				continue
+			case *ast.StarExpr:
+				base, kind = l.X, "written (pointer write)"
+				continue
+			}
+			break
+		}
+		if id, ok := base.(*ast.Ident); ok && info.Uses[id] == types.Object(obj) {
+			fn(lhs.Pos(), kind)
+		}
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				classify(lhs)
+			}
+		case *ast.IncDecStmt:
+			classify(n.X)
+		case *ast.RangeStmt:
+			if n.Tok == token.ASSIGN {
+				if n.Key != nil {
+					classify(n.Key)
+				}
+				if n.Value != nil {
+					classify(n.Value)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// waitCallsAfter returns the positions of `.Wait()` calls in body after
+// pos — the join points that legitimize post-spawn writes.
+func waitCallsAfter(info *types.Info, body *ast.BlockStmt, pos token.Pos) []token.Pos {
+	var joins []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= pos {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+			joins = append(joins, call.End())
+		}
+		return true
+	})
+	return joins
+}
+
+// enclosingLoop returns the innermost for/range statement that contains
+// gs, provided declPos lies outside it (the hazardous shape), stopping
+// at the enclosing function boundary.
+func enclosingLoop(pm framework.ParentMap, gs *ast.GoStmt, declPos token.Pos) ast.Node {
+	for cur := pm[ast.Node(gs)]; cur != nil; cur = pm[cur] {
+		switch cur.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			if !within(cur, declPos) {
+				return cur
+			}
+		case *ast.FuncDecl, *ast.FuncLit:
+			return nil
+		}
+	}
+	return nil
+}
+
+func loopBody(loop ast.Node) *ast.BlockStmt {
+	switch l := loop.(type) {
+	case *ast.ForStmt:
+		return l.Body
+	case *ast.RangeStmt:
+		return l.Body
+	}
+	return nil
+}
+
+// checkWaitGroups enforces add-before-spawn: no Add inside the
+// goroutine, and a Done inside it requires a matching Add before the
+// spawn in the enclosing function.
+func checkWaitGroups(pass *framework.Pass, info *types.Info, fl *ast.FuncLit, gs *ast.GoStmt, enclosingBody *ast.BlockStmt) {
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !isWaitGroup(info, sel.X) {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Add":
+			pass.Reportf(call.Pos(), "WaitGroup.Add inside the goroutine races its own Wait; call Add before spawning")
+		case "Done":
+			if enclosingBody != nil && !addBeforeSpawn(info, enclosingBody, gs.Pos(), exprPath(sel.X)) {
+				pass.Reportf(call.Pos(), "goroutine calls %s.Done but no %s.Add precedes the spawn in the enclosing function", exprPath(sel.X), exprPath(sel.X))
+			}
+		}
+		return true
+	})
+}
+
+// addBeforeSpawn reports whether an `<path>.Add(...)` call occurs
+// before pos in body.
+func addBeforeSpawn(info *types.Info, body *ast.BlockStmt, pos token.Pos, path string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos || found {
+			return !found
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+			sel.Sel.Name == "Add" && isWaitGroup(info, sel.X) && exprPath(sel.X) == path {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroup reports whether e's type is sync.WaitGroup (possibly
+// behind a pointer).
+func isWaitGroup(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}
+
+// exprPath renders an ident/selector chain ("t.wg") for same-object
+// matching of WaitGroup Add/Done pairs.
+func exprPath(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprPath(e.X) + "." + e.Sel.Name
+	}
+	return "?"
+}
+
+// isSyncSafe reports whether t may be shared with a goroutine without
+// confinement analysis: channels, sync and sync/atomic types, and
+// contexts — each carries its own synchronization discipline.
+func isSyncSafe(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return isSyncSafe(p.Elem())
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() {
+	case "sync", "sync/atomic":
+		return true
+	case "context":
+		return named.Obj().Name() == "Context"
+	}
+	return false
+}

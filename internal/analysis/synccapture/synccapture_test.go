@@ -1,0 +1,12 @@
+package synccapture_test
+
+import (
+	"testing"
+
+	"droplet/internal/analysis/analysistest"
+	"droplet/internal/analysis/synccapture"
+)
+
+func TestSyncCapture(t *testing.T) {
+	analysistest.Run(t, "testdata", synccapture.Analyzer, "a")
+}

@@ -1,0 +1,126 @@
+// Package a exercises the synccapture rules: writes inside goroutines,
+// writes after spawn without a join, loop-iteration captures, and
+// WaitGroup add-before-spawn discipline — plus the confined and
+// channel-based patterns that must stay silent.
+package a
+
+import "sync"
+
+// --------------------------------------------------------- rule 1: writes inside
+
+func writeInside() int {
+	total := 0
+	go func() {
+		total++ // want `captured variable total is reassigned inside the goroutine`
+	}()
+	return total
+}
+
+func elementInside(errs []error, err error) {
+	go func() {
+		errs[0] = err // want `captured variable errs is written \(element write\) inside the goroutine`
+	}()
+}
+
+func pointerInside(p *int) {
+	go func() {
+		*p = 1 // want `captured variable p is written \(pointer write\) inside the goroutine`
+	}()
+}
+
+// ------------------------------------------------ rule 2: writes after spawn
+
+func writeAfter(ch chan int) {
+	n := 1
+	go func() { ch <- n }()
+	n = 2 // want `captured variable n is reassigned after the goroutine spawn with no \.Wait\(\) join in between`
+}
+
+// ------------------------------------------------- rule 3: loop-iteration capture
+
+func loopCapture(items []int) {
+	var cur int
+	for _, it := range items {
+		cur = it
+		go func() { // want `captured variable cur is declared outside the loop but reassigned each iteration`
+			_ = cur
+		}()
+	}
+}
+
+// ----------------------------------------------------- WaitGroup discipline
+
+func addInside(wg *sync.WaitGroup) {
+	go func() {
+		wg.Add(1)       // want `WaitGroup\.Add inside the goroutine races its own Wait`
+		defer wg.Done() // want `goroutine calls wg\.Done but no wg\.Add precedes the spawn`
+	}()
+	wg.Wait()
+}
+
+func doneWithoutAdd(wg *sync.WaitGroup) {
+	go func() {
+		wg.Done() // want `goroutine calls wg\.Done but no wg\.Add precedes the spawn`
+	}()
+}
+
+// ------------------------------------------------------------ negatives
+
+// confined: channel result, read-only capture, locals inside the closure.
+func confined(items []int) int {
+	res := make(chan int)
+	go func() {
+		sum := 0
+		for _, it := range items {
+			sum += it
+		}
+		res <- sum
+	}()
+	return <-res
+}
+
+// writeAfterJoin: reuse after wg.Wait() is the join-then-reuse pattern.
+func writeAfterJoin(wg *sync.WaitGroup) int {
+	n := 1
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = n
+	}()
+	wg.Wait()
+	n = 2
+	return n
+}
+
+// loopHeader: range variables are per-iteration since Go 1.22.
+func loopHeader(items []int, sink chan int) {
+	for _, it := range items {
+		go func() { sink <- it }()
+	}
+}
+
+// properWaitGroup: Add before spawn, per-index scatter writes suppressed
+// with the standard escape hatch.
+func properWaitGroup(items []int) []int {
+	var wg sync.WaitGroup
+	out := make([]int, len(items))
+	for i, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			//droplet:allow synccapture -- fixture: disjoint per-index slots, joined by Wait before any read
+			out[i] = it * 2
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+type counter struct{ n int }
+
+func (c *counter) bump() { c.n++ }
+
+// nonLiteral: receiver and args evaluate at spawn time — no capture.
+func nonLiteral(c *counter) {
+	go c.bump()
+}

@@ -35,6 +35,25 @@ func (k *keeper) Observe(ev int, dst []byte) []byte {
 	return dst
 }
 
+// Mixed compares a byte address against a line number: addrdomain.
+//
+//droplet:addr addr byte
+//droplet:addr la line
+func Mixed(addr, la uint64) bool { return addr == la }
+
+// badDomain's directive names an unknown domain, so it is left
+// unconsumed and reported as malformed: addrdomain (directive check).
+//
+//droplet:addr addr lines
+func badDomain(addr uint64) uint64 { return addr }
+
+// Leak mutates a captured counter inside a goroutine: synccapture.
+func Leak() int {
+	total := 0
+	go func() { total++ }()
+	return total
+}
+
 // reasonless is malformed (no "-- <reason>"): the directive itself is
 // reported and suppresses nothing.
 //

@@ -19,7 +19,7 @@ func BenchmarkAccessMissAndFill(b *testing.B) {
 	c := New(Config{Name: "b", SizeBytes: 32 << 10, Assoc: 8, LatencyTag: 1, LatencyData: 4})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		addr := mem.Addr(i) << mem.LineShift
+		addr := mem.LineAddrOf(i)
 		if _, ok := c.Access(addr, mem.Structure, false, int64(i)); !ok {
 			c.Fill(addr, mem.Structure, int64(i), false)
 		}
@@ -29,11 +29,11 @@ func BenchmarkAccessMissAndFill(b *testing.B) {
 func BenchmarkLookup(b *testing.B) {
 	c := New(Config{Name: "b", SizeBytes: 32 << 10, Assoc: 16, LatencyTag: 1, LatencyData: 4})
 	for i := 0; i < 512; i++ {
-		c.Fill(mem.Addr(i)<<mem.LineShift, mem.Property, 0, false)
+		c.Fill(mem.LineAddrOf(i), mem.Property, 0, false)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.Lookup(mem.Addr(i&511) << mem.LineShift)
+		c.Lookup(mem.LineAddrOf(i & 511))
 	}
 }
 
@@ -46,7 +46,7 @@ func BenchmarkAccessMissAndFillPolicy(b *testing.B) {
 			c := New(Config{Name: "b", SizeBytes: 32 << 10, Assoc: 8, LatencyTag: 1, LatencyData: 4, Policy: k, Seed: 1})
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				addr := mem.Addr(i) << mem.LineShift
+				addr := mem.LineAddrOf(i)
 				if _, ok := c.Access(addr, mem.Structure, false, int64(i)); !ok {
 					c.Fill(addr, mem.Structure, int64(i), false)
 				}

@@ -76,7 +76,7 @@ type meta struct {
 
 // Victim describes a line evicted by a fill.
 type Victim struct {
-	Addr       mem.Addr
+	Addr       mem.Addr //droplet:addr byte
 	Dirty      bool
 	Valid      bool
 	Prefetched bool // evicted before any demand touched it (a wasted prefetch)
@@ -136,8 +136,9 @@ func (s *Stats) HitRate() float64 {
 }
 
 // noTag marks an invalid way in the compact tag array. Real tags are line
-// addresses (byte address >> 6), which never reach 2^64-1.
-const noTag = ^uint64(0)
+// addresses (byte address >> 6), which never reach 2^64-1. The sentinel
+// lives in the tag arrays, so it shares their line domain.
+const noTag = ^uint64(0) //droplet:addr line
 
 // Cache is one set-associative cache. Addresses passed in are line-aligned
 // automatically.
@@ -149,15 +150,17 @@ const noTag = ^uint64(0)
 // loaded only for the one way that matched.
 type Cache struct {
 	cfg     Config
-	setMask uint64
+	setMask uint64 //droplet:addr setmask
 	assoc   int
 	// tags holds each way's line address, noTag when the way is invalid.
 	// A tag deliberately keeps the FULL line address (set bits included)
 	// rather than shifting them out: Fill and Invalidate reconstruct a
 	// victim's address as tag<<LineShift, which only works because nothing
 	// was discarded. Do not "optimize" the tag down to lineaddr>>setBits
-	// without also storing the set index in each victim.
-	tags []uint64
+	// without also storing the set index in each victim. The //droplet:addr
+	// annotation makes that invariant machine-checked: addrdomain flags any
+	// store of a non-line-domain value into the array.
+	tags []uint64 //droplet:addr line
 	lrus []uint64 // LRU stamp per way; valid ways always have stamp >= 1
 	meta []meta   // cold per-line fields, one 16-byte record per way
 	// mru holds, per set, the way index of the most recently touched
@@ -178,7 +181,7 @@ type Cache struct {
 	// The memo is an LRU-only optimization: non-LRU kinds never set it
 	// (their victim selection has aging side effects that must run exactly
 	// once, in Fill), so missLA stays noTag and Fill always rescans.
-	missLA     uint64
+	missLA     uint64 //droplet:addr line
 	missIdx    int    // flat way index of the chosen victim
 	missOldest uint64 // the victim's LRU stamp; 0 means it was an invalid way
 
@@ -238,6 +241,8 @@ func (c *Cache) Stats() *Stats { return &c.stats }
 
 // Lookup probes for addr without updating stats or LRU. It returns the
 // line's readiness time when present. Used by the coherence engine.
+//
+//droplet:addr addr byte
 func (c *Cache) Lookup(addr mem.Addr) (readyAt int64, ok bool) {
 	la := addr >> mem.LineShift
 	si := la & c.setMask
@@ -260,6 +265,7 @@ func (c *Cache) Lookup(addr mem.Addr) (readyAt int64, ok bool) {
 // updated; a write marks the line dirty.
 //
 //droplet:hotpath
+//droplet:addr addr byte
 func (c *Cache) Access(addr mem.Addr, dtype mem.DataType, write bool, now int64) (readyAt int64, ok bool) {
 	la := addr >> mem.LineShift
 	si := la & c.setMask
@@ -306,6 +312,8 @@ func (c *Cache) Access(addr mem.Addr, dtype mem.DataType, write bool, now int64)
 // has aging side effects, so it runs exactly once, in Fill.
 //
 //droplet:hotpath
+//droplet:addr la line
+//droplet:addr si set
 func (c *Cache) accessPolicy(la, si uint64, base int, dtype mem.DataType, write bool, now int64) (readyAt int64, ok bool) {
 	tags := c.tags[base : base+c.assoc]
 	for i, t := range tags {
@@ -351,6 +359,7 @@ func (c *Cache) hit(idx int, dtype mem.DataType, write bool, now int64) int64 {
 // downstream when dirty.
 //
 //droplet:hotpath
+//droplet:addr addr byte
 func (c *Cache) Fill(addr mem.Addr, dtype mem.DataType, readyAt int64, prefetch bool) Victim {
 	la := addr >> mem.LineShift
 	si := la & c.setMask
@@ -459,6 +468,8 @@ func (c *Cache) Fill(addr mem.Addr, dtype mem.DataType, readyAt int64, prefetch 
 
 // Invalidate removes addr if present (inclusive back-invalidation),
 // returning the removed line's state.
+//
+//droplet:addr addr byte
 func (c *Cache) Invalidate(addr mem.Addr) Victim {
 	la := addr >> mem.LineShift
 	si := la & c.setMask
@@ -489,6 +500,8 @@ func (c *Cache) Invalidate(addr mem.Addr) Victim {
 // meta.upper); absent lines are ignored. Callers invoke it right after
 // touching the line (Access hit or Fill), so the MRU-hinted probe almost
 // always resolves without the associative scan.
+//
+//droplet:addr addr byte
 func (c *Cache) MarkUpper(addr mem.Addr, bit uint16) {
 	la := addr >> mem.LineShift
 	si := la & c.setMask
@@ -508,6 +521,8 @@ func (c *Cache) MarkUpper(addr mem.Addr, bit uint16) {
 
 // Promote bumps a resident line to MRU without touching demand stats
 // (used when a prefetch engine reads the line, e.g. the LLC-to-L2 copy).
+//
+//droplet:addr addr byte
 func (c *Cache) Promote(addr mem.Addr) {
 	la := addr >> mem.LineShift
 	si := la & c.setMask
@@ -529,6 +544,8 @@ func (c *Cache) Promote(addr mem.Addr) {
 
 // MarkDirty sets the dirty bit of a resident line (used when a writeback
 // from an upper level lands in this cache).
+//
+//droplet:addr addr byte
 func (c *Cache) MarkDirty(addr mem.Addr) {
 	la := addr >> mem.LineShift
 	si := la & c.setMask

@@ -205,7 +205,7 @@ func TestPropLRUMatchesReferenceModel(t *testing.T) {
 		// reference: per set, slice of line addrs in MRU..LRU order
 		ref := make([][]mem.Addr, sets)
 		for _, op := range ops {
-			addr := mem.Addr(op%1024) << mem.LineShift
+			addr := mem.LineAddrOf(op % 1024)
 			set := int((addr >> mem.LineShift) % sets)
 			write := op&0x8000 != 0
 
@@ -242,7 +242,7 @@ func TestPropResidentNeverExceedsCapacity(t *testing.T) {
 	f := func(addrs []uint16) bool {
 		c := newTest(16*mem.LineSize, 4)
 		for _, a := range addrs {
-			c.Fill(mem.Addr(a)<<mem.LineShift, mem.Intermediate, 0, a%2 == 0)
+			c.Fill(mem.LineAddrOf(a), mem.Intermediate, 0, a%2 == 0)
 			if c.ResidentLines() > 16 {
 				return false
 			}
@@ -258,7 +258,7 @@ func TestPropStatsConservation(t *testing.T) {
 	f := func(addrs []uint16) bool {
 		c := newTest(8*mem.LineSize, 2)
 		for _, a := range addrs {
-			addr := mem.Addr(a%64) << mem.LineShift
+			addr := mem.LineAddrOf(a % 64)
 			if _, ok := c.Access(addr, mem.Structure, false, 0); !ok {
 				c.Fill(addr, mem.Structure, 0, false)
 			}

@@ -126,6 +126,8 @@ const (
 // 6-bit SHCT index. The trace has no PCs, so the region+type pair plays
 // the role of SHiP-mem's signature: graph structure/property/intermediate
 // streams land in distinct counter groups.
+//
+//droplet:addr la line
 func shipSignature(la uint64, dtype mem.DataType) uint8 {
 	h := (la>>4 ^ uint64(dtype)<<58) * 0x9E3779B97F4A7C15
 	return uint8(h>>58) & sigMask
@@ -233,6 +235,9 @@ func (c *Cache) bimodalRRPV() uint8 {
 // installed at idx (set index si, line address la). Prefetch fills always
 // insert "distant": an untouched prefetch should be the first casualty,
 // mirroring how LRU's victim memo treats unused prefetches.
+//
+//droplet:addr si set
+//droplet:addr la line
 func (c *Cache) insertWay(idx int, si, la uint64, dtype mem.DataType, prefetch bool) {
 	switch c.kind {
 	case KindRandom:

@@ -13,7 +13,7 @@ func newPolicyTest(size, assoc int, k Kind, seed uint64) *Cache {
 }
 
 // lineAddr maps a small integer to a distinct line address.
-func lineAddr(i int) mem.Addr { return mem.Addr(i) << mem.LineShift }
+func lineAddr(i int) mem.Addr { return mem.LineAddrOf(i) }
 
 // wayOf returns the way index holding addr in a single-set cache, or -1.
 func wayOf(c *Cache, addr mem.Addr) int {
@@ -152,7 +152,7 @@ func TestBRRIPBimodalOracle(t *testing.T) {
 func TestDRRIPDuelOracle(t *testing.T) {
 	// 32 sets x 2 ways: set 0 leads SRRIP, set 16 leads BRRIP.
 	c := newPolicyTest(64*mem.LineSize, 2, KindDRRIP, 0)
-	setLine := func(set, n int) mem.Addr { return mem.Addr(set+32*n) << mem.LineShift }
+	setLine := func(set, n int) mem.Addr { return mem.LineAddrOf(set + 32*n) }
 
 	// psel starts 0: followers use SRRIP (long inserts).
 	c.Fill(setLine(1, 0), mem.Property, 0, false)
@@ -217,7 +217,7 @@ func TestSHiPTrainPredict(t *testing.T) {
 	c := newPolicyTest(2*mem.LineSize, 2, KindSHiP, 0)
 	laX := uint64(0x40)
 	sigX := shipSignature(laX, mem.Property)
-	X := mem.Addr(laX) << mem.LineShift
+	X := mem.LineAddrOf(laX)
 
 	// Cold SHCT: insert predicts dead -> distant.
 	c.Fill(X, mem.Property, 0, false)
@@ -235,14 +235,14 @@ func TestSHiPTrainPredict(t *testing.T) {
 
 	// A second line with a different signature, never re-referenced.
 	laY := shipColliding(laX, mem.Property, false)
-	Y := mem.Addr(laY) << mem.LineShift
+	Y := mem.LineAddrOf(laY)
 	sigY := shipSignature(laY, mem.Property)
 	c.Fill(Y, mem.Property, 0, false) // distant (cold sig)
 
 	// Evicting Y (rrpv 3 vs X's 0) trains sigY down; it is already 0 and
 	// saturates there.
 	laZ := shipColliding(laX, mem.Property, true) // same signature as X
-	Z := mem.Addr(laZ) << mem.LineShift
+	Z := mem.LineAddrOf(laZ)
 	v := c.Fill(Z, mem.Property, 2, false)
 	if !v.Valid || v.Addr != Y {
 		t.Fatalf("victim = %+v, want Y (%#x)", v, Y)
@@ -262,7 +262,7 @@ func TestSHiPTrainPredict(t *testing.T) {
 		t.Fatalf("shct[%d] = %d after Invalidate, want untouched 1", sigX, c.shct[sigX])
 	}
 	c.Fill(Z, mem.Property, 3, false)
-	v = c.Fill(mem.Addr(shipColliding(laZ, mem.Property, false))<<mem.LineShift, mem.Property, 4, false)
+	v = c.Fill(mem.LineAddrOf(shipColliding(laZ, mem.Property, false)), mem.Property, 4, false)
 	if !v.Valid {
 		t.Fatal("expected a capacity eviction")
 	}

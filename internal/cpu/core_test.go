@@ -306,7 +306,7 @@ func TestPropRetirementMonotone(t *testing.T) {
 				}
 			}
 			evs = append(evs, trace.Event{
-				Addr: mem.Addr(r) << mem.LineShift,
+				Addr: mem.LineAddrOf(r),
 				Dep:  dep, Comp: r % 7, Kind: kind,
 				DType: mem.DataType(r % 3),
 			})

@@ -10,7 +10,7 @@ func BenchmarkMCDemandRead(b *testing.B) {
 	mc := NewMemoryController(DefaultConfig())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		mc.Access(Request{Addr: mem.Addr(i) << mem.LineShift, DType: mem.Structure}, int64(i*10))
+		mc.Access(Request{Addr: mem.LineAddrOf(i), DType: mem.Structure}, int64(i*10))
 	}
 }
 
@@ -18,7 +18,7 @@ func BenchmarkMCPrefetchRead(b *testing.B) {
 	mc := NewMemoryController(DefaultConfig())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		mc.Access(Request{Addr: mem.Addr(i) << mem.LineShift, Prefetch: true, CBit: true, DType: mem.Structure}, int64(i*10))
+		mc.Access(Request{Addr: mem.LineAddrOf(i), Prefetch: true, CBit: true, DType: mem.Structure}, int64(i*10))
 	}
 }
 
@@ -29,6 +29,6 @@ func BenchmarkMCEstimateDemand(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		mc.EstimateDemand(mem.Addr(i)<<mem.LineShift, int64(i))
+		mc.EstimateDemand(mem.LineAddrOf(i), int64(i))
 	}
 }

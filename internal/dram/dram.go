@@ -66,10 +66,12 @@ func (c Config) Validate() error {
 
 // Request describes one line-sized memory access.
 type Request struct {
-	// Addr is the physical line address.
+	// Addr is the physical (line-aligned, byte-domain) address.
+	//droplet:addr byte
 	Addr mem.Addr
 	// VAddr is the corresponding virtual line address, carried so refill
 	// subscribers (the MPP) can interpret the line's contents.
+	//droplet:addr byte
 	VAddr mem.Addr
 	// CoreID records the requesting core (stored in the MRB so the MPP
 	// can route property prefetches to the right private L2).
@@ -91,8 +93,11 @@ type Request struct {
 // Refill is the MC-side view of a completed fill, delivered to refill
 // subscribers (the MPP taps this to see prefetched structure cachelines).
 type Refill struct {
-	Addr     mem.Addr // physical line address
-	VAddr    mem.Addr // virtual line address
+	// Addr and VAddr are the physical and virtual line-aligned addresses.
+	//droplet:addr byte
+	Addr mem.Addr
+	//droplet:addr byte
+	VAddr mem.Addr
 	CoreID   int
 	Prefetch bool
 	CBit     bool
@@ -192,6 +197,7 @@ func (mc *MemoryController) SubscribeRefill(f func(Refill)) {
 	mc.onRefill = append(mc.onRefill, f)
 }
 
+//droplet:addr addr byte
 func (mc *MemoryController) route(addr mem.Addr) (ch, bank int, row int64) {
 	la := addr >> mem.LineShift
 	ch = int(la) & (mc.cfg.Channels - 1)
@@ -359,6 +365,7 @@ func (mc *MemoryController) Access(req Request, now int64) int64 {
 // prefetch: the MC promotes the outstanding request to demand priority
 // (the C-bit's scheduling purpose), so the demand waits no longer than a
 // fresh demand read would take.
+//droplet:addr addr byte
 func (mc *MemoryController) EstimateDemand(addr mem.Addr, now int64) int64 {
 	ch, bank, row := mc.route(addr)
 	start := now

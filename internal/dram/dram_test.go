@@ -141,7 +141,7 @@ func TestMultiChannelParallelism(t *testing.T) {
 	// single-access latency (no queueing across channels).
 	var max int64
 	for i := 0; i < 4; i++ {
-		c := mc.Access(Request{Addr: mem.Addr(i) << mem.LineShift}, 0)
+		c := mc.Access(Request{Addr: mem.LineAddrOf(i)}, 0)
 		if c > max {
 			max = c
 		}
@@ -181,7 +181,7 @@ func TestPropChannelFIFOMonotonic(t *testing.T) {
 		mc := NewMemoryController(cfg)
 		var lastComplete int64
 		for _, a := range addrs {
-			c := mc.Access(Request{Addr: mem.Addr(a) << mem.LineShift}, 0)
+			c := mc.Access(Request{Addr: mem.LineAddrOf(a)}, 0)
 			if c > lastComplete {
 				lastComplete = c
 			}

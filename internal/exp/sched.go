@@ -306,6 +306,7 @@ func (s *Suite) Warm(reqs []Request) error {
 					continue
 				}
 				if err := s.runGroup(ctx, g); err != nil {
+					//droplet:allow synccapture -- per-index scatter write: each worker owns disjoint errs slots and wg.Wait() orders them before any read
 					errs[g.idx] = err
 					cancel()
 				}
@@ -379,10 +380,12 @@ func forEachBench[T any](s *Suite, benches []workload.Benchmark, fn func(b workl
 				}
 				v, err := fn(it.b)
 				if err != nil {
+					//droplet:allow synccapture -- per-index scatter write: each item owns disjoint errs slots and wg.Wait() orders them before any read
 					errs[it.idx] = err
 					cancel()
 					continue
 				}
+				//droplet:allow synccapture -- per-index scatter write: each item owns disjoint out slots and wg.Wait() orders them before any read
 				out[it.idx] = v
 			}
 		}()

@@ -53,10 +53,27 @@ const (
 // Addr is a virtual or physical byte address.
 type Addr = uint64
 
-// LineAddr returns the cache-line-aligned address containing a.
+// LineAddr returns the cache-line-aligned address containing a: still a
+// byte address, just with the offset bits cleared.
+//
+//droplet:addr a byte
+//droplet:addr return byte
 func LineAddr(a Addr) Addr { return a &^ (LineSize - 1) }
 
+// LineAddrOf builds the byte address of line number n — the inverse of
+// `addr >> LineShift`. Tests use it instead of hand-rolling
+// `mem.Addr(i) << mem.LineShift`, keeping them in-domain for the
+// addrdomain analyzer.
+//
+//droplet:addr n line
+//droplet:addr return byte
+func LineAddrOf[Int ~int | ~int8 | ~int16 | ~int32 | ~int64 | ~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 | ~uintptr](n Int) Addr {
+	return Addr(n) << LineShift
+}
+
 // PageNumber returns the page number containing a.
+//
+//droplet:addr a byte
 func PageNumber(a Addr) uint64 { return a >> PageShift }
 
 // PTE is a page-table entry: the physical page number plus the extra bit
@@ -70,15 +87,19 @@ type PTE struct {
 // Region is one tagged allocation.
 type Region struct {
 	Name string
-	Base Addr
+	Base Addr //droplet:addr byte
 	Size uint64
 	Type DataType
 }
 
 // Contains reports whether a falls inside the region.
+//
+//droplet:addr a byte
 func (r Region) Contains(a Addr) bool { return a >= r.Base && a < r.Base+r.Size }
 
 // End returns one past the last byte of the region.
+//
+//droplet:addr return byte
 func (r Region) End() Addr { return r.Base + r.Size }
 
 // AddressSpace is a process address space with a flat page table. Virtual
@@ -87,8 +108,8 @@ func (r Region) End() Addr { return r.Base + r.Size }
 // without fragmentation (the mapping itself is irrelevant to the paper's
 // results, but the structure bit in each PTE is load-bearing).
 type AddressSpace struct {
-	vbase   Addr
-	brk     Addr
+	vbase   Addr //droplet:addr byte
+	brk     Addr //droplet:addr byte
 	nextPPN uint64
 	ptes    []PTE // indexed by vpn - vbase>>PageShift
 	regions []Region
@@ -127,6 +148,8 @@ func (as *AddressSpace) Regions() []Region { return as.regions }
 
 // Lookup returns the PTE covering a, or ok=false when unmapped (the MPP
 // drops prefetches that would fault, Section V-C3).
+//
+//droplet:addr a byte
 func (as *AddressSpace) Lookup(a Addr) (PTE, bool) {
 	if a < as.vbase || a >= as.brk {
 		return PTE{}, false
@@ -136,6 +159,8 @@ func (as *AddressSpace) Lookup(a Addr) (PTE, bool) {
 
 // Translate converts a virtual to a physical address. The second result is
 // false for unmapped addresses.
+//
+//droplet:addr a byte
 func (as *AddressSpace) Translate(a Addr) (Addr, bool) {
 	pte, ok := as.Lookup(a)
 	if !ok {
@@ -146,6 +171,8 @@ func (as *AddressSpace) Translate(a Addr) (Addr, bool) {
 
 // TypeOf classifies address a by its containing region, defaulting to
 // Intermediate for unmapped addresses.
+//
+//droplet:addr a byte
 func (as *AddressSpace) TypeOf(a Addr) DataType {
 	if a < as.vbase || a >= as.brk {
 		return Intermediate

@@ -29,6 +29,8 @@ func NewTLB(capacity int) *TLB {
 
 // Lookup returns the cached PTE for the page containing a. ok=false is a
 // TLB miss; the caller walks the page table and calls Insert.
+//
+//droplet:addr a byte
 func (t *TLB) Lookup(a Addr) (PTE, bool) {
 	vpn := PageNumber(a)
 	n, ok := t.entries[vpn]
@@ -45,6 +47,8 @@ func (t *TLB) Lookup(a Addr) (PTE, bool) {
 // capacity the evicted node is rewritten in place for the new
 // translation, so the steady-state miss path allocates nothing; only the
 // initial fill (and refill after Flush) allocates, bounded by capacity.
+//
+//droplet:addr a byte
 func (t *TLB) Insert(a Addr, pte PTE) {
 	vpn := PageNumber(a)
 	if n, ok := t.entries[vpn]; ok {

@@ -163,6 +163,7 @@ type translationMemo [memoSize]memoEntry
 // translate resolves vline through core's memo, falling back to the page
 // table (and the region table for the data type) on a memo miss. ok is
 // false for unmapped addresses.
+//droplet:addr vline byte
 func (h *Hierarchy) translate(core int, vline mem.Addr) (pte mem.PTE, dtype mem.DataType, ok bool) {
 	vpn := vline >> mem.PageShift
 	e := &h.memos[core][vpn&(memoSize-1)]
@@ -359,6 +360,7 @@ func (h *Hierarchy) AddressSpace() *mem.AddressSpace { return h.as }
 // Access performs a demand access from core at time now and returns the
 // completion time plus the level that serviced it.
 //droplet:hotpath
+//droplet:addr vaddr byte
 func (h *Hierarchy) Access(core int, vaddr mem.Addr, dtype mem.DataType, write bool, now int64) (int64, Level) {
 	vline := mem.LineAddr(vaddr)
 	pte, _, ok := h.translate(core, vline)
@@ -473,6 +475,8 @@ func (h *Hierarchy) Access(core int, vaddr mem.Addr, dtype mem.DataType, write b
 // so a triggering miss is never delayed by the prefetches it spawns; the
 // L2 observation's scratch buffer is idle by then and is reused.
 //droplet:hotpath
+//droplet:addr vline byte
+//droplet:addr paddr byte
 func (h *Hierarchy) observeLLC(core int, vline, paddr mem.Addr, dtype mem.DataType, sbit, write, llcHit bool, now int64) {
 	ev := prefetch.AccessInfo{
 		Core:         core,
@@ -500,6 +504,7 @@ func (h *Hierarchy) observeLLC(core int, vline, paddr mem.Addr, dtype mem.DataTy
 // with a slow prefetch would wait longer than if the prefetch had never
 // been issued. Callers only invoke it when ready > now (the line is
 // actually in flight), keeping the call off the plain-hit fast path.
+//droplet:addr paddr byte
 func (h *Hierarchy) expedite(paddr mem.Addr, ready, now int64) int64 {
 	llcLat := int64(h.cfg.LLC.LatencyTag + h.cfg.LLC.LatencyData)
 	if lr, ok := h.llc.Lookup(paddr); ok && lr < ready {
@@ -515,6 +520,7 @@ func (h *Hierarchy) expedite(paddr mem.Addr, ready, now int64) int64 {
 
 // fillUpper installs the line into L1 (always) and optionally L2,
 // propagating writebacks and marking write-allocated lines dirty.
+//droplet:addr paddr byte
 func (h *Hierarchy) fillUpper(core int, paddr mem.Addr, dtype mem.DataType, readyAt int64, write, intoL1, intoL2 bool) {
 	if intoL2 && h.l2[core] != nil {
 		v := h.l2[core].Fill(paddr, dtype, readyAt, false)
@@ -548,6 +554,7 @@ func (h *Hierarchy) fillUpper(core int, paddr mem.Addr, dtype mem.DataType, read
 // fillLLC installs a line into the shared LLC, handling inclusive
 // back-invalidation of every core's private caches and dirty writebacks
 // to DRAM.
+//droplet:addr paddr byte
 func (h *Hierarchy) fillLLC(paddr mem.Addr, dtype mem.DataType, readyAt int64, pf bool) {
 	v := h.llc.Fill(paddr, dtype, readyAt, pf)
 	if h.fillLLCEvict(v) {
@@ -607,6 +614,7 @@ func (h *Hierarchy) fillLLCEvict(v cache.Victim) bool {
 // advance (the accesses are architecturally real); the demand
 // ServicedBy/latency attribution stays untouched because no service
 // level or latency is computed.
+//droplet:addr vaddr byte
 func (h *Hierarchy) Warm(core int, vaddr mem.Addr, dtype mem.DataType, write bool, now int64) {
 	vline := mem.LineAddr(vaddr)
 	pte, _, ok := h.translate(core, vline)
@@ -642,6 +650,7 @@ func (h *Hierarchy) Warm(core int, vaddr mem.Addr, dtype mem.DataType, write boo
 // line is resident in the LLC at every call site (installs happen only
 // alongside an LLC hit or fill — the inclusion invariant), so the mark
 // lands on the live copy.
+//droplet:addr paddr byte
 func (h *Hierarchy) markUpper(core int, paddr mem.Addr) {
 	if h.upperBits {
 		h.llc.MarkUpper(paddr, 1<<uint(core))
@@ -722,6 +731,7 @@ func (h *Hierarchy) ExecutePrefetch(r prefetch.Req, now int64) {
 
 // installPrefetch places a prefetched line into the private L2 (and L1
 // for the monolithic arrangement), maintaining inclusion bookkeeping.
+//droplet:addr paddr byte
 func (h *Hierarchy) installPrefetch(core int, paddr mem.Addr, dtype mem.DataType, readyAt int64, fillL1 bool) {
 	if l2 := h.l2[core]; l2 != nil {
 		v := l2.Fill(paddr, dtype, readyAt, true)
@@ -749,6 +759,7 @@ func (h *Hierarchy) installPrefetch(core int, paddr mem.Addr, dtype mem.DataType
 // LineOnChip implements prefetch.Chip: the inclusive LLC covers all
 // private caches, so an LLC probe is the coherence-engine check.
 //droplet:hotpath
+//droplet:addr paddr byte
 func (h *Hierarchy) LineOnChip(paddr mem.Addr) bool {
 	_, ok := h.llc.Lookup(paddr)
 	return ok
@@ -758,6 +769,7 @@ func (h *Hierarchy) LineOnChip(paddr mem.Addr) bool {
 // copied from the inclusive LLC into the requesting core's private L2).
 // Lines already resident in the destination cache are left untouched.
 //droplet:hotpath
+//droplet:addr paddr byte
 func (h *Hierarchy) CopyLLCToL2(core int, paddr mem.Addr, dtype mem.DataType, now int64, fillL1 bool) {
 	dest := h.l1[core]
 	if l2 := h.l2[core]; l2 != nil && !fillL1 {
@@ -781,6 +793,8 @@ func (h *Hierarchy) CopyLLCToL2(core int, paddr mem.Addr, dtype mem.DataType, no
 // IssueDRAMPrefetch implements prefetch.Chip (Fig. 8: off-chip property
 // prefetch queued at the MC, filling the LLC and the private L2).
 //droplet:hotpath
+//droplet:addr paddr byte
+//droplet:addr vaddr byte
 func (h *Hierarchy) IssueDRAMPrefetch(core int, paddr, vaddr mem.Addr, dtype mem.DataType, now int64, fillL1 bool) int64 {
 	complete := h.mc.Access(dram.Request{
 		Addr:     paddr,

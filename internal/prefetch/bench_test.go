@@ -11,7 +11,7 @@ func BenchmarkStreamerSequential(b *testing.B) {
 	s := NewStreamer(DefaultStreamerConfig())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.Observe(AccessInfo{VAddr: mem.Addr(i) << mem.LineShift, StructureBit: true}, nil)
+		s.Observe(AccessInfo{VAddr: mem.LineAddrOf(i), StructureBit: true}, nil)
 	}
 }
 
@@ -29,7 +29,7 @@ func BenchmarkGHBObserve(b *testing.B) {
 	g := NewGHB(DefaultGHBConfig())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		g.Observe(AccessInfo{VAddr: mem.Addr(i%1024) << mem.LineShift}, nil)
+		g.Observe(AccessInfo{VAddr: mem.LineAddrOf(i % 1024)}, nil)
 	}
 }
 
@@ -37,7 +37,7 @@ func BenchmarkVLDPObserve(b *testing.B) {
 	v := NewVLDP(DefaultVLDPConfig())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		v.Observe(AccessInfo{VAddr: mem.Addr(i*3) << mem.LineShift}, nil)
+		v.Observe(AccessInfo{VAddr: mem.LineAddrOf(i * 3)}, nil)
 	}
 }
 

@@ -60,7 +60,7 @@ func conformanceEvents() []AccessInfo {
 			Now:  int64(i * 10),
 		}
 		if i%3 != 2 {
-			ev.VAddr = strBase + mem.Addr(i)<<mem.LineShift
+			ev.VAddr = strBase + mem.LineAddrOf(i)
 			ev.DType = mem.Structure
 			ev.StructureBit = true
 		} else {
@@ -127,7 +127,7 @@ func TestEngineConformance(t *testing.T) {
 
 			// Scratch contract: Observe appends to the caller's buffer and
 			// returns it — existing elements survive in place.
-			sentinel := Req{Core: 99, VAddr: 0xDEAD << mem.LineShift}
+			sentinel := Req{Core: 99, VAddr: mem.LineAddrOf(0xDEAD)}
 			buf := make([]Req, 1, 64)
 			buf[0] = sentinel
 			for _, ev := range evs[:32] {

@@ -16,7 +16,7 @@ func DefaultGHBConfig() GHBConfig {
 }
 
 type ghbEntry struct {
-	lineAddr uint64
+	lineAddr uint64 //droplet:addr line
 	prevIdx  int32 // previous entry with the same key, -1 if none
 	seq      uint64
 }
@@ -131,6 +131,7 @@ func (g *GHB) Observe(ev AccessInfo, reqs []Req) []Req {
 	return reqs
 }
 
+//droplet:addr line line
 func (g *GHB) push(line uint64) {
 	g.seq++
 	g.buf[g.head] = ghbEntry{lineAddr: line, seq: g.seq}

@@ -68,6 +68,7 @@ func DefaultMPPConfig() MPPConfig {
 // two 64-bit registers hold base and granularity; multi-property graphs
 // register several arrays, Section VI).
 type PropArray struct {
+	//droplet:addr byte
 	Base  mem.Addr
 	Elem  uint64
 	Count uint64 // number of elements, for bounds-checking scanned IDs
@@ -119,7 +120,8 @@ type MPP struct {
 	mtlb  *mem.TLB
 
 	inflight []int64    // completion times of outstanding DRAM prefetches
-	seen     []mem.Addr // per-refill dedup scratch; tiny, so a linear scan beats a map
+	//droplet:addr byte
+	seen []mem.Addr // per-refill dedup scratch; tiny, so a linear scan beats a map
 	ids      []uint32   // scan scratch buffer, reused across refills
 	stats    MPPStats
 }
@@ -223,6 +225,7 @@ func (m *MPP) OnRefill(r dram.Refill) {
 	}
 }
 
+//droplet:addr vline byte
 func (m *MPP) prefetchLine(core int, vline mem.Addr, t int64) {
 	m.stats.AddrsGenerated++
 

@@ -50,8 +50,11 @@ type Pickle struct {
 	cfg    PickleConfig
 	scan   LineScanner
 	props  []PropArray
-	recent []mem.Addr // direct-mapped recent-issue filter
-	seen   []mem.Addr // per-trigger dedup scratch
+	// recent and seen hold previously-issued line-aligned addresses.
+	//droplet:addr byte
+	recent []mem.Addr
+	//droplet:addr byte
+	seen []mem.Addr
 	ids    []uint32   // scan scratch buffer, reused across triggers
 	stats  PickleStats
 }

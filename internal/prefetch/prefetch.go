@@ -80,9 +80,12 @@ func (s Scope) String() string {
 // L2 lookup outcome as training feedback); for AttachLLC engines, a
 // post-L2 miss arriving at the shared LLC (plus the LLC lookup outcome).
 type AccessInfo struct {
-	Core  int
-	VAddr mem.Addr // line-aligned virtual address
-	PAddr mem.Addr // line-aligned physical address
+	Core int
+	// VAddr and PAddr are the line-aligned virtual and physical addresses.
+	//droplet:addr byte
+	VAddr mem.Addr
+	//droplet:addr byte
+	PAddr mem.Addr
 	DType mem.DataType
 	// StructureBit is the extra TLB bit of Fig. 9(b): set when the page
 	// belongs to a structure allocation.
@@ -100,8 +103,10 @@ type AccessInfo struct {
 type Req struct {
 	// Core is the triggering core: the prefetch translates through its
 	// memo and, unless LLCOnly is set, fills its private cache(s).
-	Core  int
-	VAddr mem.Addr // line-aligned virtual address
+	Core int
+	// VAddr is the line-aligned virtual address to prefetch.
+	//droplet:addr byte
+	VAddr mem.Addr
 	// CBit marks the request as an identified structure prefetch from the
 	// data-aware streamer; the MRB keeps it so the MPP can react to the
 	// refill (Section V-C1).

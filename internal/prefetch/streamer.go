@@ -29,10 +29,10 @@ func DefaultStreamerConfig() StreamerConfig {
 // tracker follows one page-bounded access stream.
 type tracker struct {
 	page     uint64 // page number being tracked
-	lastLine int64  // line index within page of the newest training access
+	lastLine int64 //droplet:addr line
 	dir      int64  // +1 / -1, 0 while undetermined
 	confirms int    // misses seen agreeing with dir
-	frontier int64  // next line (within page) to prefetch
+	frontier int64 //droplet:addr line
 	active   bool
 	lru      uint64
 	core     int

@@ -21,7 +21,7 @@ func DefaultVLDPConfig() VLDPConfig {
 // dhbEntry is one page's delta history.
 type dhbEntry struct {
 	page     uint64
-	lastLine int64   // last line offset within the page
+	lastLine int64 //droplet:addr line
 	deltas   []int64 // most recent last (newest at the end)
 	lru      uint64
 	used     bool
@@ -189,6 +189,7 @@ func (v *VLDP) predict(hist []int64) (int64, bool) {
 	return 0, false
 }
 
+//droplet:addr lineIdx line
 func (v *VLDP) emit(reqs []Req, core int, page uint64, lineIdx int64) []Req {
 	addr := (page << mem.PageShift) | uint64(lineIdx<<mem.LineShift)
 	v.Issued++

@@ -26,8 +26,10 @@ import (
 // tree over access timestamps counts distinct lines since last touch in
 // O(log n) per access.
 type ReuseProfiler struct {
-	lastAccess map[mem.Addr]int32 // line → timestamp of previous access
-	tree       []int32            // Fenwick tree over timestamps; 1 = line's latest access
+	// lastAccess maps each line-aligned byte address to its previous
+	// access timestamp.
+	lastAccess map[mem.Addr]int32
+	tree       []int32 // Fenwick tree over timestamps; 1 = line's latest access
 	time       int32
 	hist       Histogram
 }
@@ -129,6 +131,8 @@ func NewReuseProfiler() *ReuseProfiler {
 
 // Touch records an access to the line containing addr and returns its
 // stack distance (-1 for a cold miss).
+//
+//droplet:addr addr byte
 func (p *ReuseProfiler) Touch(addr mem.Addr) int32 {
 	line := mem.LineAddr(addr)
 	p.time++

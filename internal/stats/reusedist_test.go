@@ -11,7 +11,7 @@ import (
 
 func TestReuseDistanceBasics(t *testing.T) {
 	p := NewReuseProfiler()
-	a := func(line int) mem.Addr { return mem.Addr(line) << mem.LineShift }
+	a := func(line int) mem.Addr { return mem.LineAddrOf(line) }
 
 	if d := p.Touch(a(1)); d != -1 {
 		t.Errorf("cold access distance = %d, want -1", d)
@@ -65,7 +65,7 @@ func TestPropReuseMatchesNaiveStack(t *testing.T) {
 		p := NewReuseProfiler()
 		n := &naiveStack{}
 		for _, r := range raw {
-			addr := mem.Addr(r%32) << mem.LineShift
+			addr := mem.LineAddrOf(r % 32)
 			if p.Touch(addr) != n.touch(addr) {
 				return false
 			}

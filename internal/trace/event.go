@@ -30,7 +30,7 @@ const NoDep int32 = -1
 // event; they model the kernel's arithmetic without storing one event
 // per instruction.
 type Event struct {
-	Addr  mem.Addr     // virtual byte address
+	Addr  mem.Addr     //droplet:addr byte
 	Dep   int32        // index of the producer load in this core's stream, or NoDep
 	Comp  uint16       // compute instructions preceding this one
 	Kind  Kind         //
@@ -93,6 +93,8 @@ func (b *Builder) Compute(c, n int) { b.a.compute(c, n) }
 // for use as a later Dep. dep is the producer load's index or NoDep.
 // After the budget is exhausted the load is counted but not stored, and
 // NoDep is returned.
+//
+//droplet:addr addr byte
 func (b *Builder) Load(c int, addr mem.Addr, dt mem.DataType, dep int32) int32 {
 	comp, ok := b.a.event(c)
 	if !ok {
@@ -104,6 +106,8 @@ func (b *Builder) Load(c int, addr mem.Addr, dt mem.DataType, dep int32) int32 {
 
 // Store emits a store on core c. dep is the load producing the store
 // address, or NoDep.
+//
+//droplet:addr addr byte
 func (b *Builder) Store(c int, addr mem.Addr, dt mem.DataType, dep int32) {
 	comp, ok := b.a.event(c)
 	if !ok {

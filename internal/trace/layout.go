@@ -49,6 +49,9 @@ func NewLayout(g *graph.CSR) *Layout {
 // region append nothing. The caller owns the buffer (prefetch.LineScanner
 // contract), so the scan never allocates in steady state.
 //droplet:hotpath
+//droplet:addr vline byte
+//droplet:addr ids vertex
+//droplet:addr return vertex
 func (l *Layout) ScanStructureLine(vline mem.Addr, ids []uint32) []uint32 {
 	if !l.Structure.Contains(vline) {
 		return ids
