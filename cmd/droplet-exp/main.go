@@ -47,13 +47,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	sc := workload.Quick
-	switch *scale {
-	case "quick":
-	case "full":
-		sc = workload.Full
-	default:
-		fmt.Fprintf(os.Stderr, "droplet-exp: unknown scale %q\n", *scale)
+	sc, err := workload.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "droplet-exp:", err)
 		os.Exit(1)
 	}
 

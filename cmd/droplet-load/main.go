@@ -1,0 +1,312 @@
+// Command droplet-load drives a droplet-serve instance with a
+// configurable request load and emits a JSON latency/throughput
+// artifact.
+//
+// Usage:
+//
+//	droplet-load -url http://localhost:8080 -concurrency 1,2,4,8,16,32 -n 64
+//	droplet-load -url http://localhost:8080 -rate 50 -burst 4 -n 200
+//
+// Two modes:
+//
+//   - Closed loop (default): for each level in -concurrency, that many
+//     workers issue requests back to back until the level's quota is
+//     done. This traces the service's concurrency curve.
+//   - Open loop (-rate > 0): arrivals are scheduled at a fixed rate
+//     (bursts of -burst per tick) regardless of completions, and
+//     latency is measured from the scheduled arrival, so a slow server
+//     cannot hide queueing delay (no coordinated omission).
+//
+// Request bodies cycle through -benchmarks. The tool also audits the
+// service's cache contract: every response to one request body must be
+// byte-identical; any deviation is counted and fails the run.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// request is one prepared POST body.
+type request struct {
+	body []byte
+}
+
+// sample is one completed request observation.
+type sample struct {
+	latency  time.Duration
+	cacheHit bool
+	err      bool
+	mismatch bool
+}
+
+// latencySummary is the ms-denominated percentile digest of one level.
+type latencySummary struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// level is one row of the artifact: a closed-loop concurrency step or
+// one open-loop run.
+type level struct {
+	Concurrency int            `json:"concurrency,omitempty"`
+	RatePerSec  float64        `json:"rate_per_sec,omitempty"`
+	Burst       int            `json:"burst,omitempty"`
+	Requests    int            `json:"requests"`
+	Errors      int            `json:"errors"`
+	Mismatches  int            `json:"mismatches"`
+	CacheHits   int            `json:"cache_hits"`
+	WallSeconds float64        `json:"wall_seconds"`
+	Throughput  float64        `json:"throughput_rps"`
+	LatencyMS   latencySummary `json:"latency_ms"`
+}
+
+// artifact is the JSON document -out receives.
+type artifact struct {
+	Target     string   `json:"target"`
+	Mode       string   `json:"mode"`
+	Benchmarks []string `json:"benchmarks"`
+	Levels     []level  `json:"levels"`
+}
+
+func main() {
+	var (
+		url     = flag.String("url", "http://localhost:8080", "base URL of the droplet-serve instance")
+		benchCS = flag.String("benchmarks", "PR-kron,BFS-road,CC-kron", "comma-separated benchmarks to cycle through")
+		scale   = flag.String("scale", "quick", "scale field of every request")
+		concCS  = flag.String("concurrency", "1,2,4,8,16,32", "closed-loop concurrency sweep levels")
+		n       = flag.Int("n", 64, "requests per closed-loop level, or total open-loop arrivals")
+		rate    = flag.Float64("rate", 0, "open-loop arrival rate in requests/second (0 = closed loop)")
+		burst   = flag.Int("burst", 1, "open-loop arrivals per tick")
+		out     = flag.String("out", "", "write the JSON artifact to this file (default stdout)")
+		timeout = flag.Duration("timeout", 5*time.Minute, "per-request timeout")
+	)
+	flag.Parse()
+
+	benches := splitNonEmpty(*benchCS)
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "droplet-load: -benchmarks is empty")
+		os.Exit(2)
+	}
+	reqs := make([]request, len(benches))
+	for i, b := range benches {
+		body, err := json.Marshal(map[string]any{"benchmark": b, "scale": *scale})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "droplet-load:", err)
+			os.Exit(1)
+		}
+		reqs[i] = request{body: body}
+	}
+
+	lg := &loadgen{
+		client:   &http.Client{Timeout: *timeout},
+		endpoint: strings.TrimRight(*url, "/") + "/v1/simulate",
+		reqs:     reqs,
+		first:    make([][]byte, len(reqs)),
+	}
+
+	art := artifact{Target: *url, Benchmarks: benches}
+	if *rate > 0 {
+		art.Mode = "open"
+		art.Levels = append(art.Levels, lg.runOpen(*rate, *burst, *n))
+	} else {
+		art.Mode = "closed"
+		for _, c := range parseInts(*concCS) {
+			art.Levels = append(art.Levels, lg.runClosed(c, *n))
+		}
+	}
+
+	enc, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "droplet-load:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "droplet-load:", err)
+		os.Exit(1)
+	}
+
+	for _, l := range art.Levels {
+		if l.Errors > 0 || l.Mismatches > 0 {
+			fmt.Fprintf(os.Stderr, "droplet-load: %d errors, %d cache-identity mismatches\n", l.Errors, l.Mismatches)
+			os.Exit(1)
+		}
+	}
+}
+
+// loadgen issues requests and audits response-byte identity per body.
+type loadgen struct {
+	client   *http.Client
+	endpoint string
+	reqs     []request
+
+	mu    sync.Mutex
+	first [][]byte // first response body seen per request index
+}
+
+// issue sends request ri once and returns the observation. latency is
+// measured from from (the scheduled arrival in open-loop mode, the send
+// time in closed-loop mode).
+func (lg *loadgen) issue(ri int, from time.Time) sample {
+	resp, err := lg.client.Post(lg.endpoint, "application/json", bytes.NewReader(lg.reqs[ri].body))
+	if err != nil {
+		return sample{latency: time.Since(from), err: true}
+	}
+	body, readErr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	s := sample{
+		latency:  time.Since(from),
+		cacheHit: resp.Header.Get("X-Cache") == "hit",
+	}
+	if readErr != nil || resp.StatusCode != http.StatusOK {
+		s.err = true
+		return s
+	}
+	lg.mu.Lock()
+	if lg.first[ri] == nil {
+		lg.first[ri] = body
+	} else if !bytes.Equal(lg.first[ri], body) {
+		s.mismatch = true
+	}
+	lg.mu.Unlock()
+	return s
+}
+
+// runClosed runs one closed-loop level: conc workers drain a shared
+// quota of total requests back to back.
+func (lg *loadgen) runClosed(conc, total int) level {
+	if conc < 1 {
+		conc = 1
+	}
+	samples := make([]sample, total)
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				//droplet:allow synccapture -- per-index scatter write joined by wg.Wait
+				samples[i] = lg.issue(i%len(lg.reqs), time.Now())
+			}
+		}()
+	}
+	wg.Wait()
+	l := summarize(samples, time.Since(start))
+	l.Concurrency = conc
+	return l
+}
+
+// runOpen runs one open-loop pass: total arrivals scheduled at rate
+// req/s in bursts, each handled on its own goroutine, latency measured
+// from the scheduled arrival.
+func (lg *loadgen) runOpen(rate float64, burst, total int) level {
+	if burst < 1 {
+		burst = 1
+	}
+	interval := time.Duration(float64(burst) / rate * float64(time.Second))
+	samples := make([]sample, total)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		scheduled := start.Add(time.Duration(i/burst) * interval)
+		if d := time.Until(scheduled); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int, scheduled time.Time) {
+			defer wg.Done()
+			//droplet:allow synccapture -- per-index scatter write joined by wg.Wait
+			samples[i] = lg.issue(i%len(lg.reqs), scheduled)
+		}(i, scheduled)
+	}
+	wg.Wait()
+	l := summarize(samples, time.Since(start))
+	l.RatePerSec = rate
+	l.Burst = burst
+	return l
+}
+
+// summarize folds samples into one artifact level.
+func summarize(samples []sample, wall time.Duration) level {
+	l := level{Requests: len(samples), WallSeconds: wall.Seconds()}
+	lats := make([]time.Duration, 0, len(samples))
+	for _, s := range samples {
+		if s.err {
+			l.Errors++
+			continue
+		}
+		if s.mismatch {
+			l.Mismatches++
+		}
+		if s.cacheHit {
+			l.CacheHits++
+		}
+		lats = append(lats, s.latency)
+	}
+	if wall > 0 {
+		l.Throughput = float64(len(lats)) / wall.Seconds()
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		ms := func(q float64) float64 {
+			i := int(q*float64(len(lats)-1) + 0.5)
+			return float64(lats[i]) / float64(time.Millisecond)
+		}
+		l.LatencyMS = latencySummary{
+			P50: ms(0.50),
+			P90: ms(0.90),
+			P95: ms(0.95),
+			P99: ms(0.99),
+			Max: float64(lats[len(lats)-1]) / float64(time.Millisecond),
+		}
+	}
+	return l
+}
+
+// splitNonEmpty splits a comma list, dropping empty entries.
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// parseInts parses a comma list of positive ints, exiting on bad input.
+func parseInts(s string) []int {
+	var out []int
+	for _, f := range splitNonEmpty(s) {
+		v, err := strconv.Atoi(f)
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "droplet-load: bad concurrency level %q\n", f)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}

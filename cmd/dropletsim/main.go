@@ -145,19 +145,6 @@ func main() {
 	}
 }
 
-func parseScale(name string) (workload.Scale, error) {
-	switch name {
-	case "quick":
-		return workload.Quick, nil
-	case "full":
-		return workload.Full, nil
-	case "huge":
-		return workload.Huge, nil
-	default:
-		return 0, fmt.Errorf("unknown scale %q", name)
-	}
-}
-
 // parseSampling resolves the sampling flags into a sim.Sampling (zero
 // when -sample-interval is unset).
 func parseSampling(rf runFlags) (sim.Sampling, error) {
@@ -182,7 +169,7 @@ func parseSampling(rf runFlags) (sim.Sampling, error) {
 // interleaved the simulations, so -jobs N output diffs clean against
 // -jobs 1 (the CI smoke job relies on this), with or without sampling.
 func runMatrix(ids, benchList, pfList string, rf runFlags, jobs int, verbose bool, outPath, telemDir string, sample sim.Sampling) error {
-	sc, err := parseScale(rf.scale)
+	sc, err := workload.ParseScale(rf.scale)
 	if err != nil {
 		return err
 	}
@@ -276,7 +263,7 @@ func run(rf runFlags) error {
 	if err != nil {
 		return err
 	}
-	sc, err := parseScale(rf.scale)
+	sc, err := workload.ParseScale(rf.scale)
 	if err != nil {
 		return err
 	}

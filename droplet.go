@@ -49,6 +49,7 @@ import (
 	"droplet/internal/graph"
 	"droplet/internal/mem"
 	"droplet/internal/sim"
+	"droplet/internal/simreq"
 	"droplet/internal/telemetry"
 	"droplet/internal/trace"
 	"droplet/internal/workload"
@@ -524,6 +525,37 @@ func SimulateStream(ctx context.Context, st *TraceStream, cfg MachineConfig, opt
 	}
 	return sim.SimulateStream(ctx, st, cfg, o)
 }
+
+// SimRequest is the canonical, versioned simulation request — the one
+// value type that names a benchmark simulation everywhere: the
+// experiment scheduler's result cache, telemetry file naming, and the
+// droplet-serve HTTP API all key on SimRequest.Hash(). Zero fields mean
+// defaults (quick scale, 4 cores, no prefetch, LRU everywhere); enum
+// fields accept any spelling the Parse* helpers accept and normalize to
+// the canonical one. Hash() is the SHA-256 of the canonical JSON
+// encoding, stable across processes and hosts for one schema version.
+type SimRequest = simreq.Request
+
+// SimRequestSampling is the wire form of Sampling inside a SimRequest.
+type SimRequestSampling = simreq.Sampling
+
+// FieldError reports one invalid SimRequest field; FieldErrors is the
+// complete list (the error type Normalize/Resolve/DecodeSimRequest
+// return for content problems, and the shape the HTTP service renders
+// into 400 bodies).
+type (
+	FieldError  = simreq.FieldError
+	FieldErrors = simreq.FieldErrors
+)
+
+// SimRequestVersion is the current request schema version. Hashes are
+// only comparable within one version; bumping it deliberately
+// invalidates every cached result.
+const SimRequestVersion = simreq.Version
+
+// DecodeSimRequest reads one JSON SimRequest from r strictly — unknown
+// fields are rejected, not ignored — and returns the normalized form.
+func DecodeSimRequest(r io.Reader) (SimRequest, error) { return simreq.Decode(r) }
 
 // DataType classifies accesses (structure / property / intermediate).
 type DataType = mem.DataType

@@ -2,9 +2,9 @@ package cache
 
 import (
 	"fmt"
-	"strings"
 
 	"droplet/internal/mem"
+	"droplet/internal/names"
 )
 
 // Kind selects a replacement policy. The zero value is LRU, so existing
@@ -83,11 +83,7 @@ func ParseReplacement(s string) (Kind, error) {
 			return k, nil
 		}
 	}
-	names := make([]string, 0, numKinds)
-	for _, k := range AllKinds() {
-		names = append(names, k.String())
-	}
-	return 0, fmt.Errorf("cache: unknown replacement policy %q (valid: %s)", s, strings.Join(names, ", "))
+	return 0, names.Unknown("cache", "replacement policy", s, names.Of(AllKinds()))
 }
 
 // RRIP parameters (2-bit RRPV per way).

@@ -26,9 +26,9 @@ package core
 
 import (
 	"fmt"
-	"strings"
 
 	"droplet/internal/memsys"
+	"droplet/internal/names"
 	"droplet/internal/prefetch"
 	"droplet/internal/trace"
 )
@@ -110,7 +110,7 @@ func ParseKind(s string) (PrefetcherKind, error) {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("core: unknown prefetcher %q (valid: %s)", s, strings.Join(KindNames(), ", "))
+	return 0, names.Unknown("core", "prefetcher", s, KindNames())
 }
 
 // Options tunes an attachment.

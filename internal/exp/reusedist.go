@@ -45,7 +45,7 @@ func RunReuseDist(s *Suite) (*ReuseDist, error) {
 	// suite's scheduler: traces come from the shared bounded cache and
 	// rows return in input order regardless of completion order.
 	rows, err := forEachBench(s, benches, func(b workload.Benchmark) (ReuseDistRow, error) {
-		tr, entry, err := s.acquireTrace(b)
+		tr, entry, err := s.acquireTrace(b, s.Scale, 0)
 		if err != nil {
 			return ReuseDistRow{}, err
 		}

@@ -9,6 +9,7 @@ import (
 
 	"droplet/internal/core"
 	"droplet/internal/sim"
+	"droplet/internal/simreq"
 	"droplet/internal/telemetry"
 	"droplet/internal/trace"
 	"droplet/internal/workload"
@@ -27,137 +28,265 @@ type Request struct {
 	ROBSize int
 }
 
-// key is the singleflight/cache identity of the request. Variants are
-// identified by name, matching the historical result-cache key.
-func (r Request) key() string {
+// label is the human-readable name of the request used in progress
+// lines and error wrapping (the historical cache-key format).
+func (r Request) label() string {
 	if r.Analyze {
 		return fmt.Sprintf("analyze/%s/rob%d", r.Bench, r.ROBSize)
 	}
 	return fmtKey(r.Bench, r.Kind, r.Variant.Name)
 }
 
+// canonicalOf lowers a table request onto the canonical simulation
+// request shape, folding in the suite-wide machine settings. The result
+// is exactly the request an HTTP client would send to reproduce this
+// table cell, so the scheduler cache, telemetry file names, and the
+// service all share one keyspace.
+func (s *Suite) canonicalOf(r Request) simreq.Request {
+	q := simreq.Request{
+		Benchmark:     r.Bench.String(),
+		Scale:         s.Scale.String(),
+		Cores:         simreq.DefaultCores,
+		Prefetcher:    r.Kind.String(),
+		Replacement:   s.Replacement.String(),
+		ReplacementL1: s.ReplacementL1.String(),
+		ReplacementL2: s.ReplacementL2.String(),
+		Variant:       r.Variant.Name,
+		EpochCycles:   s.EpochCycles,
+	}
+	if s.Sample.Enabled() {
+		q.Sampling = &simreq.Sampling{
+			IntervalEpochs: s.Sample.IntervalEpochs,
+			DetailEpochs:   s.Sample.DetailEpochs,
+			WarmupEpochs:   s.Sample.WarmupEpochs,
+			Warming:        s.Sample.Warming.String(),
+		}
+	}
+	return q
+}
+
+// keyOf is the singleflight/result-cache identity of a request: the
+// canonical simreq hash for timing simulations — the same key the HTTP
+// service and telemetry file naming use — or an explicit analyze/ key
+// for dependency analyses, which have no wire shape. A request that
+// cannot canonicalize (e.g. an unknown dataset) gets a distinct
+// invalid/ key so the real validation error surfaces at execution.
+func (s *Suite) keyOf(r Request) string {
+	if r.Analyze {
+		return r.label()
+	}
+	h, err := s.canonicalOf(r).Hash()
+	if err != nil {
+		return "invalid/" + r.label()
+	}
+	return h
+}
+
 // flight is one in-progress or completed request execution. Completed
-// flights double as the suite's result cache.
+// flights double as the suite's result cache. waiters counts callers
+// blocked on the flight; when the last waiter of a cancellable flight
+// abandons it, the flight's context is cancelled so the simulation
+// stops instead of computing a result nobody wants.
 type flight struct {
-	done chan struct{}
-	val  any
-	err  error
+	done    chan struct{}
+	val     any
+	err     error
+	waiters int
+	settled bool
+	cancel  context.CancelFunc // nil for non-cancellable flights
 }
 
 // do returns the cached or freshly computed value for req, collapsing
 // concurrent duplicates onto one execution.
 func (s *Suite) do(req Request) (any, error) {
-	key := req.key()
+	return s.doReq(context.Background(), req)
+}
+
+// doReq is do with caller-controlled cancellation.
+func (s *Suite) doReq(ctx context.Context, req Request) (any, error) {
+	key := s.keyOf(req)
+	return s.doKey(ctx, key, func(fctx context.Context) (any, error) {
+		return s.execute(fctx, key, req)
+	})
+}
+
+// doKey runs fn once per key, collapsing concurrent duplicates onto one
+// execution and caching the success. ctx cancellation abandons the wait
+// and, once no other waiter remains, the execution itself.
+func (s *Suite) doKey(ctx context.Context, key string, fn func(context.Context) (any, error)) (any, error) {
 	s.mu.Lock()
 	if f, ok := s.flights[key]; ok {
+		f.waiters++
 		s.mu.Unlock()
-		<-f.done
-		return f.val, f.err
+		return s.wait(ctx, key, f)
 	}
-	f := &flight{done: make(chan struct{})}
+	f := &flight{done: make(chan struct{}), waiters: 1}
+	fctx := context.Background()
+	if ctx.Done() != nil {
+		// Only cancellable callers pay for a cancellable execution: a
+		// Background-context flight keeps the simulator's zero-overhead
+		// drive loop.
+		fctx, f.cancel = context.WithCancel(context.Background())
+	}
 	s.flights[key] = f
 	s.mu.Unlock()
+	go s.runFlight(fctx, f, key, fn)
+	return s.wait(ctx, key, f)
+}
 
-	f.val, f.err = s.execute(req)
-	if f.err != nil {
-		// Failed flights are not cached: a later caller may retry (e.g.
-		// after a transient trace-generation failure).
-		s.mu.Lock()
-		delete(s.flights, key)
-		s.mu.Unlock()
+// runFlight executes one flight and publishes its outcome. Failed
+// flights are not cached: a later caller may retry (e.g. after a
+// transient trace-generation failure or a cancelled execution).
+func (s *Suite) runFlight(ctx context.Context, f *flight, key string, fn func(context.Context) (any, error)) {
+	val, err := fn(ctx)
+	s.mu.Lock()
+	f.val, f.err = val, err
+	f.settled = true
+	if err != nil {
+		if cur, ok := s.flights[key]; ok && cur == f {
+			delete(s.flights, key)
+		}
 	}
 	close(f.done)
-	return f.val, f.err
+	s.mu.Unlock()
+	if f.cancel != nil {
+		f.cancel()
+	}
+}
+
+// wait blocks until f settles or ctx is cancelled, maintaining the
+// flight's waiter count.
+func (s *Suite) wait(ctx context.Context, key string, f *flight) (any, error) {
+	if ctx.Done() == nil {
+		<-f.done
+		s.mu.Lock()
+		f.waiters--
+		s.mu.Unlock()
+		return f.val, f.err
+	}
+	select {
+	case <-f.done:
+		s.mu.Lock()
+		f.waiters--
+		s.mu.Unlock()
+		return f.val, f.err
+	case <-ctx.Done():
+		s.mu.Lock()
+		f.waiters--
+		if f.waiters == 0 && !f.settled && f.cancel != nil {
+			// Last interested caller gone: stop the execution and make
+			// the key retryable for the next request.
+			if cur, ok := s.flights[key]; ok && cur == f {
+				delete(s.flights, key)
+			}
+			f.cancel()
+		}
+		s.mu.Unlock()
+		return nil, ctx.Err()
+	}
 }
 
 // execute runs one request against its (shared, refcounted) trace.
-func (s *Suite) execute(req Request) (any, error) {
-	key := req.key()
-	tr, entry, err := s.acquireTrace(req.Bench)
-	if err != nil {
-		return nil, fmt.Errorf("exp: %s: %w", key, err)
-	}
-	defer s.releaseTrace(entry)
-
+func (s *Suite) execute(ctx context.Context, key string, req Request) (any, error) {
+	label := req.label()
 	if req.Analyze {
+		tr, entry, err := s.acquireTrace(req.Bench, s.Scale, 0)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", label, err)
+		}
+		defer s.releaseTrace(entry)
 		st := trace.AnalyzeDependencies(tr, req.ROBSize)
 		s.progress(fmt.Sprintf("analyzed %-25s rob=%d", req.Bench, req.ROBSize))
 		return st, nil
 	}
-
-	cfg := Machine(s.Scale)
-	cfg.Prefetcher = req.Kind
-	cfg.LLC.Policy = s.Replacement
-	cfg.L1.Policy = s.ReplacementL1
-	cfg.L2.Policy = s.ReplacementL2
-	if req.Variant.Mutate != nil {
-		req.Variant.Mutate(&cfg)
-	}
-	r, err := s.simulate(req, tr, cfg)
+	rv, err := s.canonicalOf(req).Resolve()
 	if err != nil {
-		return nil, fmt.Errorf("exp: %s: %w", key, err)
+		return nil, fmt.Errorf("exp: %s: %w", label, err)
 	}
-	s.progress(fmt.Sprintf("ran %-28s %12d cycles", key, r.Cycles))
+	return s.runSim(ctx, rv, req.Variant.Mutate, key, label)
+}
+
+// machineOf builds the simulated machine for a resolved request.
+func machineOf(rv simreq.Resolved) sim.Config {
+	cfg := Machine(rv.Scale)
+	cfg.Cores = rv.Cores
+	cfg.Prefetcher = rv.Prefetcher
+	cfg.LLC.Policy = rv.Replacement
+	cfg.L1.Policy = rv.ReplacementL1
+	cfg.L2.Policy = rv.ReplacementL2
+	return cfg
+}
+
+// runSim executes one timing simulation against the (shared,
+// refcounted) trace for rv, applying mutate — a named-variant machine
+// mutation, nil for canonical requests — on top of the request machine.
+func (s *Suite) runSim(ctx context.Context, rv simreq.Resolved, mutate func(*sim.Config), key, label string) (*sim.Result, error) {
+	tr, entry, err := s.acquireTrace(rv.Benchmark, rv.Scale, rv.Cores)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", label, err)
+	}
+	defer s.releaseTrace(entry)
+
+	cfg := machineOf(rv)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	r, err := s.simulate(ctx, tr, rv, cfg, key)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", label, err)
+	}
+	s.progress(fmt.Sprintf("ran %-28s %12d cycles", label, r.Cycles))
 	return r, nil
 }
 
 // simulate runs one timing simulation, streaming epoch telemetry to
-// TelemetryDir and sampling per Sample when configured.
-func (s *Suite) simulate(req Request, tr *trace.Trace, cfg sim.Config) (*sim.Result, error) {
+// TelemetryDir (named by the request's canonical hash) and sampling per
+// the resolved request when configured.
+func (s *Suite) simulate(ctx context.Context, tr *trace.Trace, rv simreq.Resolved, cfg sim.Config, key string) (*sim.Result, error) {
 	if s.TelemetryDir == "" {
-		if !s.Sample.Enabled() {
+		if !rv.Sampling.Enabled() && ctx.Done() == nil {
 			return sim.Run(tr, cfg)
 		}
-		return sim.Simulate(context.Background(), tr, cfg, sim.Options{
-			Sampling:    s.Sample,
-			EpochCycles: s.EpochCycles,
+		return sim.Simulate(ctx, tr, cfg, sim.Options{
+			Sampling:    rv.Sampling,
+			EpochCycles: rv.EpochCycles,
 		})
 	}
-	path := filepath.Join(s.TelemetryDir, sanitizeKey(req.key())+".jsonl")
+	path := filepath.Join(s.TelemetryDir, key+".jsonl")
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, err
 	}
 	col := telemetry.NewCollector(telemetry.NewJSONLSink(f), telemetry.RunMeta{
-		Benchmark:   req.Bench.String(),
-		Kernel:      req.Bench.Algo.String(),
-		Variant:     req.Variant.Name,
-		EpochCycles: s.epochCycles(),
+		Benchmark:   rv.Benchmark.String(),
+		Kernel:      rv.Benchmark.Algo.String(),
+		Variant:     rv.Variant,
+		EpochCycles: metaEpochCycles(rv.EpochCycles),
 	})
-	r, simErr := sim.Simulate(context.Background(), tr, cfg, sim.Options{
+	r, simErr := sim.Simulate(ctx, tr, cfg, sim.Options{
 		Observer:    col,
-		EpochCycles: s.EpochCycles,
-		Sampling:    s.Sample,
+		EpochCycles: rv.EpochCycles,
+		Sampling:    rv.Sampling,
 	})
 	if closeErr := f.Close(); simErr == nil {
 		simErr = closeErr
 	}
 	if simErr != nil {
+		// Drop the partial stream: failed flights are retried, and a
+		// rerun recreates the file from scratch.
+		os.Remove(path)
 		return nil, simErr
 	}
 	return r, nil
 }
 
-// epochCycles resolves the configured granularity for telemetry metadata.
-func (s *Suite) epochCycles() int64 {
-	if s.EpochCycles > 0 {
-		return s.EpochCycles
+// metaEpochCycles resolves a configured granularity for telemetry
+// metadata.
+func metaEpochCycles(v int64) int64 {
+	if v > 0 {
+		return v
 	}
 	return sim.DefaultEpochCycles
-}
-
-// sanitizeKey maps a request key onto a filesystem-safe file stem:
-// every byte outside [A-Za-z0-9._-] becomes '_'.
-func sanitizeKey(key string) string {
-	out := []byte(key)
-	for i, b := range out {
-		switch {
-		case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b >= '0' && b <= '9', b == '.', b == '_', b == '-':
-		default:
-			out[i] = '_'
-		}
-	}
-	return string(out)
 }
 
 // progress serializes delivery to the optional Progress sink.
@@ -182,12 +311,17 @@ type traceEntry struct {
 	err   error
 }
 
-// acquireTrace pins the trace for b, generating it if absent. At most
-// jobs() traces exist at once; when the table is full the caller blocks
-// until an unpinned trace can be evicted. Every successful acquire must
-// be paired with a releaseTrace of the returned entry.
-func (s *Suite) acquireTrace(b workload.Benchmark) (*trace.Trace, *traceEntry, error) {
-	key := b.String()
+// acquireTrace pins the trace for (b, sc, cores), generating it if
+// absent (cores<=0 means simreq.DefaultCores, matching the generator's
+// default). At most jobs() traces exist at once; when the table is full
+// the caller blocks until an unpinned trace can be evicted. Every
+// successful acquire must be paired with a releaseTrace of the returned
+// entry.
+func (s *Suite) acquireTrace(b workload.Benchmark, sc workload.Scale, cores int) (*trace.Trace, *traceEntry, error) {
+	if cores <= 0 {
+		cores = simreq.DefaultCores
+	}
+	key := fmt.Sprintf("%s@%v/c%d", b, sc, cores)
 	limit := s.jobs()
 	s.traceMu.Lock()
 	for {
@@ -210,7 +344,7 @@ func (s *Suite) acquireTrace(b workload.Benchmark) (*trace.Trace, *traceEntry, e
 	s.traces[key] = e
 	s.traceMu.Unlock()
 
-	e.tr, e.err = workload.GenerateTrace(b, s.Scale, 0)
+	e.tr, e.err = workload.GenerateTrace(b, sc, cores)
 	close(e.ready)
 	if e.err != nil {
 		s.traceMu.Lock()
@@ -271,10 +405,11 @@ func (s *Suite) Warm(reqs []Request) error {
 	byBench := make(map[string]*benchGroup)
 	seen := make(map[string]bool)
 	for _, r := range reqs {
-		if seen[r.key()] {
+		key := s.keyOf(r)
+		if seen[key] {
 			continue
 		}
-		seen[r.key()] = true
+		seen[key] = true
 		bkey := r.Bench.String()
 		g, ok := byBench[bkey]
 		if !ok {
@@ -332,7 +467,7 @@ func (s *Suite) Warm(reqs []Request) error {
 // runGroup pins the group's trace once, then executes each request
 // through the singleflight cache (which reuses the pinned trace).
 func (s *Suite) runGroup(ctx context.Context, g *benchGroup) error {
-	_, entry, err := s.acquireTrace(g.bench)
+	_, entry, err := s.acquireTrace(g.bench, s.Scale, 0)
 	if err != nil {
 		return fmt.Errorf("exp: %s: %w", g.bench, err)
 	}

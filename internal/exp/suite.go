@@ -70,9 +70,10 @@ type Suite struct {
 	progressMu sync.Mutex
 
 	// TelemetryDir, when non-empty, streams epoch telemetry for every
-	// timing simulation to <dir>/<sanitized key>.jsonl. Files are written
-	// by the single flight that executes each key, so their contents are
-	// byte-identical regardless of Jobs.
+	// timing simulation to <dir>/<canonical request hash>.jsonl — the
+	// same simreq.Request.Hash() the HTTP service keys results on. Files
+	// are written by the single flight that executes each key, so their
+	// contents are byte-identical regardless of Jobs.
 	TelemetryDir string
 	// EpochCycles sets the telemetry epoch granularity (0 means
 	// sim.DefaultEpochCycles). Only consulted when TelemetryDir is set

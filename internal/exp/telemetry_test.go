@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"testing"
 
+	"droplet/internal/core"
+	"droplet/internal/simreq"
 	"droplet/internal/telemetry"
 	"droplet/internal/workload"
 )
@@ -90,11 +92,25 @@ func TestTelemetryJobsDeterminism(t *testing.T) {
 	}
 }
 
-// TestSanitizeKey pins the telemetry file naming.
-func TestSanitizeKey(t *testing.T) {
-	got := sanitizeKey("PR-kron/droplet/no L2")
-	want := "PR-kron_droplet_no_L2"
-	if got != want {
-		t.Errorf("sanitizeKey = %q, want %q", got, want)
+// TestTelemetryFileNaming pins the telemetry file stem to the canonical
+// simulation-request hash: the scheduler key, the telemetry file name,
+// and the HTTP service's result key are one identity.
+func TestTelemetryFileNaming(t *testing.T) {
+	s := NewSuite(workload.Quick)
+	s.EpochCycles = 20000
+	r := Request{
+		Bench: workload.Benchmark{Algo: workload.PR, Dataset: "kron"},
+		Kind:  core.DROPLET,
+	}
+	want, err := simreq.Request{
+		Benchmark:   "PR-kron",
+		Prefetcher:  "droplet",
+		EpochCycles: 20000,
+	}.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.keyOf(r); got != want {
+		t.Errorf("scheduler key = %q, want canonical request hash %q", got, want)
 	}
 }

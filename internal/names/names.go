@@ -1,0 +1,31 @@
+// Package names provides the one shared error format for enum-style
+// name resolution. Every Parse* helper in the module (kernels,
+// benchmarks, datasets, scales, prefetchers, replacement policies,
+// warming modes) reports an unknown name through Unknown, so a user
+// always sees the same shape — what was rejected and the complete valid
+// set — no matter which flag or API field was misspelled.
+package names
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Unknown builds the canonical unknown-name error:
+//
+//	<pkg>: unknown <what> "<got>" (valid: a, b, c)
+//
+// valid is rendered in the caller's canonical order.
+func Unknown(pkg, what, got string, valid []string) error {
+	return fmt.Errorf("%s: unknown %s %q (valid: %s)", pkg, what, got, strings.Join(valid, ", "))
+}
+
+// Of renders the String() forms of a slice of Stringer-like values, for
+// callers whose valid set is a typed slice.
+func Of[T fmt.Stringer](vals []T) []string {
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		out[i] = v.String()
+	}
+	return out
+}

@@ -8,6 +8,7 @@ import (
 	"droplet/internal/core"
 	"droplet/internal/cpu"
 	"droplet/internal/memsys"
+	"droplet/internal/names"
 	"droplet/internal/trace"
 )
 
@@ -40,7 +41,8 @@ func (w Warming) String() string {
 	}
 }
 
-// ParseWarming parses "functional" or "none".
+// ParseWarming parses "functional" or "none"; the error lists the valid
+// names.
 func ParseWarming(s string) (Warming, error) {
 	switch s {
 	case "functional":
@@ -48,7 +50,7 @@ func ParseWarming(s string) (Warming, error) {
 	case "none":
 		return WarmNone, nil
 	default:
-		return 0, fmt.Errorf("sim: unknown warming mode %q (functional, none)", s)
+		return 0, names.Unknown("sim", "warming mode", s, []string{"functional", "none"})
 	}
 }
 

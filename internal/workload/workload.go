@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"droplet/internal/graph"
+	"droplet/internal/names"
 	"droplet/internal/trace"
 )
 
@@ -94,6 +95,20 @@ func (s Scale) String() string {
 	default:
 		return "quick"
 	}
+}
+
+// AllScales lists the workload scales in size order.
+var AllScales = []Scale{Quick, Full, Huge}
+
+// ParseScale resolves a scale name ("quick", "full", "huge"); the error
+// lists the valid names.
+func ParseScale(name string) (Scale, error) {
+	for _, s := range AllScales {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, names.Unknown("workload", "scale", name, names.Of(AllScales))
 }
 
 // MaxEvents returns the trace budget (the simulated ROI) for the scale.
@@ -202,14 +217,17 @@ var Datasets = []Dataset{
 // xk derives distinct generator seeds.
 func xk(i uint64) uint64 { return 0xd09_137 + i*0x9e3779b97f4a7c15 }
 
-// DatasetByName finds a registered dataset.
+// DatasetByName finds a registered dataset; the error lists the valid
+// names.
 func DatasetByName(name string) (Dataset, error) {
-	for _, d := range Datasets {
+	valid := make([]string, len(Datasets))
+	for i, d := range Datasets {
 		if d.Name == name {
 			return d, nil
 		}
+		valid[i] = d.Name
 	}
-	return Dataset{}, fmt.Errorf("workload: unknown dataset %q", name)
+	return Dataset{}, names.Unknown("workload", "dataset", name, valid)
 }
 
 // Benchmark is one algorithm × dataset pair.
@@ -221,14 +239,15 @@ type Benchmark struct {
 // String implements fmt.Stringer ("PR-orkut").
 func (b Benchmark) String() string { return fmt.Sprintf("%v-%s", b.Algo, b.Dataset) }
 
-// ParseAlgorithm resolves a kernel name (case-insensitive).
+// ParseAlgorithm resolves a kernel name (case-insensitive); the error
+// lists the valid names.
 func ParseAlgorithm(name string) (Algorithm, error) {
 	for _, a := range AllAlgorithms {
 		if strings.EqualFold(a.String(), name) {
 			return a, nil
 		}
 	}
-	return 0, fmt.Errorf("workload: unknown algorithm %q", name)
+	return 0, names.Unknown("workload", "algorithm", name, names.Of(AllAlgorithms))
 }
 
 // ParseBenchmark resolves an "ALGO-dataset" pair as printed by

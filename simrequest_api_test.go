@@ -1,0 +1,52 @@
+package droplet_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"droplet"
+)
+
+// TestPublicAPISimRequest drives the canonical request type through the
+// facade: spelling-insensitive hashing, strict decoding, and structured
+// field errors.
+func TestPublicAPISimRequest(t *testing.T) {
+	a := droplet.SimRequest{Benchmark: "pr-kron", Scale: "quick", Cores: 4}
+	b, err := droplet.DecodeSimRequest(strings.NewReader(`{"benchmark":"PR-kron"}`))
+	if err != nil {
+		t.Fatalf("DecodeSimRequest: %v", err)
+	}
+	ha, err := a.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := b.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Errorf("equivalent requests hash differently: %s vs %s", ha, hb)
+	}
+	if b.SchemaVersion != droplet.SimRequestVersion {
+		t.Errorf("decoded request version = %d, want %d", b.SchemaVersion, droplet.SimRequestVersion)
+	}
+
+	if _, err := droplet.DecodeSimRequest(strings.NewReader(`{"benchmark":"PR-kron","prefetchr":"x"}`)); err == nil {
+		t.Error("DecodeSimRequest accepted an unknown field")
+	}
+
+	_, err = droplet.SimRequest{Benchmark: "PR-kron", Prefetcher: "warp", Replacement: "fifo"}.Normalize()
+	var fe droplet.FieldErrors
+	if !errors.As(err, &fe) {
+		t.Fatalf("Normalize error is %T, want FieldErrors: %v", err, err)
+	}
+	if len(fe) != 2 || fe[0].Field != "prefetcher" || fe[1].Field != "replacement" {
+		t.Errorf("field errors = %+v, want prefetcher and replacement", fe)
+	}
+	for _, f := range fe {
+		if !strings.Contains(f.Error, "valid:") {
+			t.Errorf("%s error %q does not list the valid names", f.Field, f.Error)
+		}
+	}
+}
